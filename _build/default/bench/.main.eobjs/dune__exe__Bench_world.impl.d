@@ -1,0 +1,1 @@
+bench/bench_world.ml: Cab_driver Engine Host Nectar_cab Nectar_core Nectar_host Nectar_hub Nectar_proto Nectar_sim Printf Runtime Sim_time Stack Stats String Thread

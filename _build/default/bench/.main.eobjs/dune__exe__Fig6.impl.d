@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Bench_world Dgram Engine Host Hostlib Mailbox Message Nectar_core Nectar_host Nectar_proto Nectar_sim Printf Runtime Stack String Table1 Waitq

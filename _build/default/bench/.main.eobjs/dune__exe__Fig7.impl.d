@@ -1,0 +1,1 @@
+bench/fig7.ml: Bench_world Engine List Mailbox Nectar_core Nectar_proto Nectar_sim Printf Rmp Runtime Stack String Tcp

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Fig6 Fig7 Fig8 List Micro Printf String Sys Table1

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_world Benchmark Bytes Hashtbl Instance List Measure Nectar_core Nectar_sim Nectar_util Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/table1.ml: Bench_world Ctx Dgram Engine Host Hostlib Ipv4 List Mailbox Message Nectar_cab Nectar_core Nectar_host Nectar_proto Nectar_sim Nectarine Printf Reqresp Rmp Runtime Stack String Udp

@@ -1,0 +1,143 @@
+(* Figure 6: one-way host-to-host datagram latency breakdown.
+
+   Paper: ~163 us one way, of which ~40% is the host-CAB interface at the
+   two ends, ~40% CAB-to-CAB, and ~20% host processing (creating and
+   reading the message).
+
+   The bench replays the figure's exact path with timestamps at the stage
+   boundaries:
+
+     t0  host starts creating the message
+     t1  host finishes begin_put/fill/end_put (the CAB is now interrupted)
+     t2  the CAB send thread picks the request up and starts the send
+     t3  the datagram has been delivered into the receiving mailbox
+         (interrupt level on the receiving CAB; observed by an upcall)
+     t4  the polling host process's begin_get returns
+     t5  the host has read the payload out of CAB memory *)
+
+open Nectar_sim
+open Nectar_core
+open Nectar_proto
+open Nectar_host
+open Bench_world
+
+let payload_bytes = 64
+let iterations = 12
+let warmup = 4
+
+type stamps = {
+  mutable t0 : int;
+  mutable ta : int; (* after app-level create, before begin_put *)
+  mutable tb : int; (* after begin_put bookkeeping *)
+  mutable tc : int; (* after payload written over VME *)
+  mutable t1 : int;
+  mutable t2 : int;
+  mutable t3 : int;
+  mutable t4 : int;
+  mutable td : int; (* after payload read over VME *)
+  mutable t5 : int;
+}
+
+let run () =
+  let w = host_pair () in
+  let eng = w.heng in
+  let port = 900 in
+  let st =
+    { t0 = 0; ta = 0; tb = 0; tc = 0; t1 = 0; t2 = 0; t3 = 0; t4 = 0;
+      td = 0; t5 = 0 }
+  in
+  let acc = Array.make 7 0 in
+  let rounds = ref 0 in
+  let inbox =
+    Runtime.create_mailbox w.hstack_b.Stack.rt ~name:"f6-inbox" ~port
+      ~upcall:(fun _ctx _mb -> st.t3 <- Engine.now eng)
+      ()
+  in
+  let send_mb =
+    Runtime.create_mailbox w.hstack_a.Stack.rt ~name:"f6-send" ()
+  in
+  spawn_cab_thread w.hstack_a ~name:"send-server" (fun ctx ->
+      while true do
+        let m = Mailbox.begin_get ctx send_mb in
+        st.t2 <- Engine.now eng;
+        let payload = Message.read_string m ~pos:0 ~len:(Message.length m) in
+        Mailbox.end_get ctx m;
+        Dgram.send_string ctx w.hstack_a.Stack.dgram ~dst_cab:1 ~dst_port:port
+          payload
+      done);
+  let h_send =
+    Hostlib.attach w.drv_a send_mb ~mode:Hostlib.Shared_memory ~readers:`Cab
+  in
+  let h_in =
+    Hostlib.attach w.drv_b inbox ~mode:Hostlib.Shared_memory ~readers:`Host
+  in
+  (* round-trip control channel so rounds do not overlap: receiver tells the
+     sender (out of band, zero sim cost) when it is done *)
+  let round_done = Waitq.create eng ~name:"f6-round" () in
+  Host.spawn_process w.host_b ~name:"reader" (fun ctx ->
+      for _ = 1 to iterations do
+        let m = Hostlib.begin_get ctx h_in in
+        st.t4 <- Engine.now eng;
+        let s = Hostlib.read_string ctx h_in m in
+        Table1.touch ctx (String.length s);
+        st.td <- Engine.now eng;
+        Hostlib.end_get ctx h_in m;
+        st.t5 <- Engine.now eng;
+        ignore (Waitq.signal round_done)
+      done);
+  Host.spawn_process w.host_a ~name:"writer" (fun ctx ->
+      for round = 1 to iterations do
+        st.t0 <- Engine.now eng;
+        Table1.touch ctx payload_bytes;
+        st.ta <- Engine.now eng;
+        let m = Hostlib.begin_put ctx h_send payload_bytes in
+        st.tb <- Engine.now eng;
+        Hostlib.write_string ctx h_send m ~pos:0
+          (String.make payload_bytes 'x');
+        st.tc <- Engine.now eng;
+        Hostlib.end_put ctx h_send m;
+        st.t1 <- Engine.now eng;
+        Waitq.wait round_done;
+        if round > warmup then begin
+          incr rounds;
+          (* host application work: produce + in-place payload writes *)
+          acc.(0) <- acc.(0) + (st.ta - st.t0) + (st.tc - st.tb);
+          (* host-CAB interface, sender: mailbox bookkeeping, signal queue,
+             CAB thread schedule *)
+          acc.(1) <- acc.(1) + (st.tb - st.ta) + (st.t1 - st.tc)
+                     + (st.t2 - st.t1);
+          (* CAB to CAB *)
+          acc.(2) <- acc.(2) + (st.t3 - st.t2);
+          (* host-CAB interface, receiver: poll wakeup + bookkeeping *)
+          acc.(3) <- acc.(3) + (st.t4 - st.t3) + (st.t5 - st.td);
+          (* host application work: payload reads + consume *)
+          acc.(4) <- acc.(4) + (st.td - st.t4)
+        end
+      done);
+  Engine.run eng;
+  let n = !rounds in
+  let avg i = acc.(i) / n in
+  let create = avg 0
+  and to_cab = avg 1
+  and cab_cab = avg 2
+  and to_host = avg 3
+  and read = avg 4 in
+  ignore (acc.(5), acc.(6));
+  let total = create + to_cab + cab_cab + to_host + read in
+  section "Figure 6: one-way host-to-host datagram latency breakdown";
+  let pct x = 100. *. float_of_int x /. float_of_int total in
+  let line name ns =
+    Printf.printf "  %-34s %10s  (%4.1f%%)\n" name (fmt_us ns) (pct ns)
+  in
+  line "host: create message (in place)" create;
+  line "host-CAB: put + signal + schedule" to_cab;
+  line "CAB-to-CAB: send, wire, deliver" cab_cab;
+  line "CAB-host: poll wake + bookkeeping" to_host;
+  line "host: read message (in place)" read;
+  Printf.printf "  %-34s %10s   paper: 163 us\n" "TOTAL one-way" (fmt_us total);
+  let interface = to_cab + to_host
+  and host = create + read in
+  Printf.printf
+    "  split: host-CAB interface %.0f%% / CAB-to-CAB %.0f%% / host %.0f%%\n"
+    (pct interface) (pct cab_cab) (pct host);
+  Printf.printf "  paper split:               40%% / 40%% / 20%%\n"

@@ -1,0 +1,343 @@
+(* nectar-cli: run Nectar simulation scenarios from the command line.
+
+     dune exec bin/nectar_cli.exe -- ping --hubs 3
+     dune exec bin/nectar_cli.exe -- latency --protocol rmp --level host
+     dune exec bin/nectar_cli.exe -- throughput --protocol tcp --size 8192
+     dune exec bin/nectar_cli.exe -- info
+*)
+
+open Nectar_sim
+open Nectar_core
+open Nectar_proto
+open Nectar_host
+module Net = Nectar_hub.Network
+module Cab = Nectar_cab.Cab
+module Costs = Nectar_cab.Costs
+
+(* ---------- world builders ---------- *)
+
+(* A chain of [hubs] HUBs with one CAB on the first and one on the last. *)
+let chain_world ~hubs ?stack_opts () =
+  let eng = Engine.create () in
+  let net = Net.create eng ~hubs () in
+  for h = 0 to hubs - 2 do
+    Net.connect_hubs net (h, 15) (h + 1, 14)
+  done;
+  let make hub port name =
+    let cab = Cab.create net ~hub ~port ~name in
+    let rt = Runtime.create cab in
+    match stack_opts with
+    | Some f -> f rt
+    | None -> Stack.create rt ()
+  in
+  let a = make 0 0 "cab-first" in
+  let b = make (hubs - 1) 1 "cab-last" in
+  (eng, net, a, b)
+
+let attach_host eng stack name =
+  let host = Host.create eng ~name in
+  let drv = Cab_driver.attach host stack.Stack.rt in
+  (host, drv)
+
+(* ---------- ping ---------- *)
+
+let run_ping hubs count payload =
+  let eng, _, a, b = chain_world ~hubs () in
+  ignore
+    (Thread.create (Runtime.cab a.Stack.rt) ~name:"ping" (fun ctx ->
+         for i = 1 to count do
+           match
+             Icmp.ping ctx a.Stack.icmp ~dst:(Stack.addr b)
+               ~payload_bytes:payload ()
+           with
+           | Some rtt ->
+               Printf.printf
+                 "%d bytes from %s: icmp_seq=%d across %d hub(s) time=%s\n"
+                 payload
+                 (Ipv4.string_of_addr (Stack.addr b))
+                 i hubs (Sim_time.to_string rtt)
+           | None -> Printf.printf "icmp_seq=%d timed out\n" i
+         done));
+  Engine.run eng;
+  Printf.printf "answered by the remote CAB's ICMP upcall (no thread)\n"
+
+(* ---------- latency ---------- *)
+
+type proto = Dgram_p | Rmp_p | Rpc_p | Udp_p
+
+let proto_conv =
+  Cmdliner.Arg.enum
+    [ ("dgram", Dgram_p); ("rmp", Rmp_p); ("rpc", Rpc_p); ("udp", Udp_p) ]
+
+let transport_send proto ctx (s : Stack.t) ~dst_cab ~dst_port payload =
+  match proto with
+  | Dgram_p -> Dgram.send_string ctx s.Stack.dgram ~dst_cab ~dst_port payload
+  | Rmp_p -> Rmp.send_string ctx s.Stack.rmp ~dst_cab ~dst_port payload
+  | Udp_p ->
+      Udp.send_string ctx s.Stack.udp ~src_port:dst_port
+        ~dst:(Ipv4.addr_of_cab dst_cab) ~dst_port payload
+  | Rpc_p -> invalid_arg "rpc handled separately"
+
+let run_latency proto payload rounds host_level =
+  let eng, _, a, b = chain_world ~hubs:1 () in
+  let port = 900 in
+  let samples = ref [] in
+  let record t0 = samples := (Engine.now eng - t0) :: !samples in
+  (if proto = Rpc_p then begin
+     Reqresp.register_server b.Stack.reqresp ~port
+       ~mode:Reqresp.Thread_server (fun _ req -> req);
+     if host_level then begin
+       let _, drv = attach_host eng a "host-a" in
+       let na = Nectarine.host_node drv a in
+       Nectarine.spawn na ~name:"client" (fun ctx ->
+           for _ = 1 to rounds do
+             let t0 = Engine.now eng in
+             ignore
+               (Nectarine.call ctx na
+                  ~dst:{ Nectarine.cab = Stack.node_id b; port }
+                  (String.make payload 'x'));
+             record t0
+           done)
+     end
+     else
+       ignore
+         (Thread.create (Runtime.cab a.Stack.rt) ~name:"client" (fun ctx ->
+              for _ = 1 to rounds do
+                let t0 = Engine.now eng in
+                ignore
+                  (Reqresp.call ctx a.Stack.reqresp
+                     ~dst_cab:(Stack.node_id b) ~dst_port:port
+                     (String.make payload 'x'));
+                record t0
+              done))
+   end
+   else begin
+     let make_inbox s =
+       let mb = Runtime.create_mailbox s.Stack.rt ~name:"cli-inbox" ~port () in
+       if proto = Udp_p then Udp.bind s.Stack.udp ~port mb;
+       mb
+     in
+     let inbox_a = make_inbox a and inbox_b = make_inbox b in
+     if host_level then begin
+       let host_a, drv_a = attach_host eng a "host-a" in
+       let host_b, drv_b = attach_host eng b "host-b" in
+       let ha = Hostlib.attach drv_a inbox_a ~mode:Hostlib.Shared_memory ~readers:`Host in
+       let hb = Hostlib.attach drv_b inbox_b ~mode:Hostlib.Shared_memory ~readers:`Host in
+       (* each side sends through a CAB thread serving a request mailbox *)
+       let send_srv s =
+         let mb = Runtime.create_mailbox s.Stack.rt ~name:"cli-send" () in
+         ignore
+           (Thread.create (Runtime.cab s.Stack.rt) ~name:"send-srv" (fun ctx ->
+                while true do
+                  let m = Mailbox.begin_get ctx mb in
+                  let dst_cab = Message.get_u16 m 0 in
+                  let payload =
+                    Message.read_string m ~pos:2 ~len:(Message.length m - 2)
+                  in
+                  Mailbox.end_get ctx m;
+                  transport_send proto ctx s ~dst_cab ~dst_port:port payload
+                done));
+         mb
+       in
+       let srv_a = send_srv a and srv_b = send_srv b in
+       let hsa = Hostlib.attach drv_a srv_a ~mode:Hostlib.Shared_memory ~readers:`Cab in
+       let hsb = Hostlib.attach drv_b srv_b ~mode:Hostlib.Shared_memory ~readers:`Cab in
+       let host_send h ~dst_cab payload =
+         fun ctx ->
+           let m = Hostlib.begin_put ctx h (2 + String.length payload) in
+           Message.set_u16 m 0 dst_cab;
+           Hostlib.write_string ctx h m ~pos:2 payload;
+           Hostlib.end_put ctx h m
+       in
+       Host.spawn_process host_b ~name:"echo" (fun ctx ->
+           for _ = 1 to rounds do
+             let m = Hostlib.begin_get ctx hb in
+             let s = Hostlib.read_string ctx hb m in
+             Hostlib.end_get ctx hb m;
+             (host_send hsb ~dst_cab:(Stack.node_id a) s) ctx
+           done);
+       Host.spawn_process host_a ~name:"client" (fun ctx ->
+           for _ = 1 to rounds do
+             let t0 = Engine.now eng in
+             (host_send hsa ~dst_cab:(Stack.node_id b)
+                (String.make payload 'x'))
+               ctx;
+             let m = Hostlib.begin_get ctx ha in
+             Hostlib.end_get ctx ha m;
+             record t0
+           done)
+     end
+     else begin
+       ignore
+         (Thread.create (Runtime.cab b.Stack.rt) ~name:"echo" (fun ctx ->
+              for _ = 1 to rounds do
+                let m = Mailbox.begin_get ctx inbox_b in
+                let s = Message.to_string m in
+                Mailbox.end_get ctx m;
+                transport_send proto ctx b ~dst_cab:(Stack.node_id a)
+                  ~dst_port:port s
+              done));
+       ignore
+         (Thread.create (Runtime.cab a.Stack.rt) ~name:"client" (fun ctx ->
+              for _ = 1 to rounds do
+                let t0 = Engine.now eng in
+                transport_send proto ctx a ~dst_cab:(Stack.node_id b)
+                  ~dst_port:port
+                  (String.make payload 'x');
+                let m = Mailbox.begin_get ctx inbox_a in
+                Mailbox.end_get ctx m;
+                record t0
+              done))
+     end
+   end);
+  Engine.run eng;
+  let warm = List.filteri (fun i _ -> i >= 3) (List.rev !samples) in
+  let n = List.length warm in
+  let mean = List.fold_left ( + ) 0 warm / max 1 n in
+  Printf.printf "%s %d-byte round trip (%s level, %d rounds): mean %s\n"
+    (match proto with
+    | Dgram_p -> "datagram"
+    | Rmp_p -> "rmp"
+    | Rpc_p -> "rpc"
+    | Udp_p -> "udp")
+    payload
+    (if host_level then "host" else "CAB")
+    n (Sim_time.to_string mean)
+
+(* ---------- throughput ---------- *)
+
+type tproto = Tcp_t | Tcp_nocksum_t | Rmp_t
+
+let tproto_conv =
+  Cmdliner.Arg.enum
+    [ ("tcp", Tcp_t); ("tcp-nocksum", Tcp_nocksum_t); ("rmp", Rmp_t) ]
+
+let run_throughput tproto size total_kb =
+  let checksum = tproto <> Tcp_nocksum_t in
+  let eng, _, a, b =
+    chain_world ~hubs:1
+      ~stack_opts:(fun rt ->
+        Stack.create rt ~tcp_checksum:checksum ~tcp_mss:size ())
+      ()
+  in
+  let total = total_kb * 1024 in
+  let k = max 1 (total / size) in
+  let started = ref 0 and done_at = ref 0 in
+  (match tproto with
+  | Rmp_t ->
+      let port = 900 in
+      let inbox =
+        Runtime.create_mailbox b.Stack.rt ~name:"sink" ~port
+          ~byte_limit:(128 * 1024) ()
+      in
+      ignore
+        (Thread.create (Runtime.cab b.Stack.rt) ~name:"sink" (fun ctx ->
+             for _ = 1 to k do
+               let m = Mailbox.begin_get ctx inbox in
+               Mailbox.end_get ctx m
+             done;
+             done_at := Engine.now eng));
+      ignore
+        (Thread.create (Runtime.cab a.Stack.rt) ~name:"source" (fun ctx ->
+             started := Engine.now eng;
+             let payload = String.make size 'r' in
+             for _ = 1 to k do
+               Rmp.send_string ctx a.Stack.rmp ~dst_cab:(Stack.node_id b)
+                 ~dst_port:port payload
+             done))
+  | Tcp_t | Tcp_nocksum_t ->
+      Tcp.listen b.Stack.tcp ~port:80 ~on_accept:(fun conn ->
+          ignore
+            (Thread.create (Runtime.cab b.Stack.rt) ~name:"sink" (fun ctx ->
+                 let received = ref 0 in
+                 while !received < k * size do
+                   received :=
+                     !received + String.length (Tcp.recv_string ctx conn)
+                 done;
+                 done_at := Engine.now eng)));
+      ignore
+        (Thread.create (Runtime.cab a.Stack.rt) ~name:"source" (fun ctx ->
+             let conn =
+               Tcp.connect ctx a.Stack.tcp ~dst:(Stack.addr b) ~dst_port:80 ()
+             in
+             started := Engine.now eng;
+             let payload = String.make size 't' in
+             for _ = 1 to k do
+               Tcp.send ctx conn payload
+             done)));
+  Engine.run eng;
+  Printf.printf
+    "%s, %d x %d bytes CAB-to-CAB: %.1f Mbit/s (of 100 physical)\n"
+    (match tproto with
+    | Tcp_t -> "TCP/IP"
+    | Tcp_nocksum_t -> "TCP w/o checksum"
+    | Rmp_t -> "RMP")
+    k size
+    (Stats.Throughput.mbit_per_s ~bytes_moved:(k * size)
+       ~elapsed:(!done_at - !started))
+
+(* ---------- info ---------- *)
+
+let run_info () =
+  let us_of ns = Printf.sprintf "%.1f us" (float_of_int ns /. 1000.) in
+  Printf.printf "Calibration constants (lib/cab/costs.ml):\n";
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-28s %s\n" k v)
+    [
+      ("fiber", "100 Mbit/s (80 ns/byte)");
+      ("hub connection setup", "700 ns");
+      ("CAB CPU", "16.5 MHz SPARC");
+      ("context switch", us_of Costs.ctx_switch_ns);
+      ("interrupt dispatch", us_of Costs.irq_dispatch_ns);
+      ("VME word access", us_of Costs.vme_word_ns);
+      ("VME DMA", "~30 Mbit/s");
+      ("TCP software checksum", Printf.sprintf "%d ns/byte" Costs.tcp_cksum_ns_per_byte);
+      ("host process switch", us_of Costs.host_ctx_switch_ns);
+      ("host syscall", us_of Costs.host_syscall_ns);
+    ]
+
+(* ---------- cmdliner wiring ---------- *)
+
+open Cmdliner
+
+let ping_cmd =
+  let hubs = Arg.(value & opt int 1 & info [ "hubs" ] ~doc:"HUBs in the chain.") in
+  let count = Arg.(value & opt int 4 & info [ "count"; "c" ] ~doc:"Echo requests.") in
+  let payload = Arg.(value & opt int 32 & info [ "payload" ] ~doc:"Payload bytes.") in
+  Cmd.v (Cmd.info "ping" ~doc:"ICMP echo across a HUB chain")
+    Term.(const run_ping $ hubs $ count $ payload)
+
+let latency_cmd =
+  let proto =
+    Arg.(value & opt proto_conv Dgram_p & info [ "protocol"; "p" ]
+           ~doc:"Transport: $(b,dgram), $(b,rmp), $(b,rpc) or $(b,udp).")
+  in
+  let payload = Arg.(value & opt int 64 & info [ "payload" ] ~doc:"Payload bytes.") in
+  let rounds = Arg.(value & opt int 16 & info [ "rounds" ] ~doc:"Round trips.") in
+  let host =
+    Arg.(value & opt (enum [ ("host", true); ("cab", false) ]) false
+         & info [ "level" ] ~doc:"Endpoints: $(b,host) processes or $(b,cab) threads.")
+  in
+  Cmd.v (Cmd.info "latency" ~doc:"Round-trip latency (Table 1 style)")
+    Term.(const run_latency $ proto $ payload $ rounds $ host)
+
+let throughput_cmd =
+  let proto =
+    Arg.(value & opt tproto_conv Rmp_t & info [ "protocol"; "p" ]
+           ~doc:"Transport: $(b,tcp), $(b,tcp-nocksum) or $(b,rmp).")
+  in
+  let size = Arg.(value & opt int 8192 & info [ "size" ] ~doc:"Message bytes.") in
+  let kb = Arg.(value & opt int 1024 & info [ "kbytes" ] ~doc:"Total kbytes.") in
+  Cmd.v (Cmd.info "throughput" ~doc:"CAB-to-CAB throughput (Figure 7 style)")
+    Term.(const run_throughput $ proto $ size $ kb)
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"Print the hardware cost model")
+    Term.(const run_info $ const ())
+
+let () =
+  let doc = "Nectar communication processor simulation scenarios" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "nectar-cli" ~doc)
+          [ ping_cmd; latency_cmd; throughput_cmd; info_cmd ]))

@@ -1,0 +1,1 @@
+examples/deployment.ml: Array Engine Icmp Ipv4 Mailbox Nectar_cab Nectar_core Nectar_hub Nectar_proto Nectar_sim Printf Rmp Rng Runtime Sim_time Stack Stats String Tcp Thread

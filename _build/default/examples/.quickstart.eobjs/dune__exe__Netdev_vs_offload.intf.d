@@ -1,0 +1,1 @@
+examples/netdev_vs_offload.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cab_driver Engine Host Nectar_cab Nectar_core Nectar_host Nectar_hub Nectar_proto Nectar_sim Nectarine Printf Runtime Sim_time Stack

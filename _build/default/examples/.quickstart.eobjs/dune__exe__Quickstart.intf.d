@@ -1,0 +1,1 @@
+examples/quickstart.mli:

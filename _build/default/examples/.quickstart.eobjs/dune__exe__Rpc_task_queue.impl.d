@@ -1,0 +1,1 @@
+examples/rpc_task_queue.ml: Array Ctx Engine List Nectar_cab Nectar_core Nectar_hub Nectar_proto Nectar_sim Nectarine Printf Queue Reqresp Runtime Scanf Sim_time Stack Thread

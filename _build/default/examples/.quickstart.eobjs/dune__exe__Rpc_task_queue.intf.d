@@ -1,0 +1,1 @@
+examples/rpc_task_queue.mli:

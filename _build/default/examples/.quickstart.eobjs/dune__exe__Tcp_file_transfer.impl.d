@@ -1,0 +1,1 @@
+examples/tcp_file_transfer.ml: Char Datalink Engine Ipv4 List Nectar_cab Nectar_core Nectar_hub Nectar_proto Nectar_sim Printf Runtime Sim_time Stack Stats String Tcp Thread

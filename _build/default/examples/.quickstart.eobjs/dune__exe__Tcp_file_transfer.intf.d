@@ -1,0 +1,1 @@
+examples/tcp_file_transfer.mli:

@@ -1,0 +1,1 @@
+lib/cab/cab.ml: Byte_fifo Bytes Costs Cpu Engine Interrupts Memory Nectar_hub Nectar_sim Probe Queue Rx Stats Vme Waitq

@@ -1,0 +1,1 @@
+lib/cab/cab.mli: Bytes Interrupts Memory Nectar_hub Nectar_sim Rx Vme

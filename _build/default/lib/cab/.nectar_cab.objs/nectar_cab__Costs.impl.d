@@ -1,0 +1,1 @@
+lib/cab/costs.ml:

@@ -1,0 +1,1 @@
+lib/cab/interrupts.mli: Nectar_sim

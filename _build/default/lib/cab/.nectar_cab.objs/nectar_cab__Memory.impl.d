@@ -1,0 +1,1 @@
+lib/cab/memory.ml: Array Bytes Costs

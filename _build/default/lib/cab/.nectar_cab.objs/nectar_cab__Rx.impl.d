@@ -1,0 +1,1 @@
+lib/cab/rx.ml: Byte_fifo Bytes Costs Engine Hashtbl Interrupts List Nectar_hub Nectar_sim Waitq

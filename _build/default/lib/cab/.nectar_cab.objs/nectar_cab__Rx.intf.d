@@ -1,0 +1,1 @@
+lib/cab/rx.mli: Bytes Interrupts Nectar_hub Nectar_sim

@@ -1,0 +1,1 @@
+lib/cab/vme.ml: Costs Cpu Engine Nectar_sim Resource Stats

@@ -1,0 +1,1 @@
+lib/cab/vme.mli: Nectar_sim

@@ -1,0 +1,57 @@
+(** A CAB: the Nectar Communication Accelerator Board (paper §2.2).
+
+    Assembles the CPU model, data memory with protection, input/output
+    FIFOs, transmit and receive DMA, hardware CRC (in {!Nectar_hub.Frame}),
+    the interrupt controller and the VME interface, attached to a HUB port.
+
+    The transmit path mirrors the hardware pipeline: {!send_frame} enqueues
+    a descriptor; the DMA engine copies the frame from CAB memory into the
+    output FIFO (after which [on_done] fires at interrupt level — the
+    sender's buffer is free); a fiber process drains the FIFO onto the wire
+    through the HUB circuit, stalling on FIFO underrun or destination
+    backpressure.  The CPU is never charged for any of this — the paper's
+    central hardware point. *)
+
+type t
+
+val create :
+  Nectar_hub.Network.t ->
+  hub:int ->
+  port:int ->
+  name:string ->
+  t
+
+val name : t -> string
+val node_id : t -> Nectar_hub.Network.node_id
+val engine : t -> Nectar_sim.Engine.t
+val cpu : t -> Nectar_sim.Cpu.t
+val memory : t -> Memory.t
+val irq : t -> Interrupts.t
+val rx : t -> Rx.t
+val network : t -> Nectar_hub.Network.t
+val probe : t -> Nectar_sim.Probe.t
+
+val vme : t -> Vme.t option
+val attach_vme : t -> Vme.t -> unit
+(** Plug the board into a host's VME backplane. *)
+
+val send_frame :
+  t ->
+  route:int list ->
+  header_bytes:int ->
+  data:Bytes.t ->
+  pos:int ->
+  len:int ->
+  on_done:(Interrupts.ctx -> unit) ->
+  unit
+(** Queue a frame (a [len]-byte slice of CAB memory or a scratch buffer) for
+    transmission.  Returns immediately; [on_done] runs at interrupt level
+    once transmit DMA has finished reading the data (the buffer may then be
+    reused).  [header_bytes] is the size of the frame's headers, used to
+    time the receiver's start-of-packet event. *)
+
+val frames_tx : t -> int
+
+val in_fifo_level : t -> int
+(** Bytes currently sitting in the input FIFO (0 once receive DMA or a
+    discard has drained every arrived frame). *)

@@ -1,0 +1,43 @@
+open Nectar_sim
+
+type t = {
+  eng : Engine.t;
+  cpu : Cpu.t;
+  dispatch_ns : int;
+  priority : int;
+  serial : Resource.t; (* handlers run to completion, one at a time *)
+  iname : string;
+  count : Stats.Counter.t;
+  irq_owner : Cpu.owner;
+}
+
+type ctx = t
+
+let create eng cpu ?(dispatch_ns = Costs.irq_dispatch_ns)
+    ?(priority = Costs.prio_interrupt) ~name () =
+  {
+    eng;
+    cpu;
+    dispatch_ns;
+    priority;
+    serial = Resource.create eng ~name:(name ^ ".irq-serial") ();
+    iname = name;
+    count = Stats.Counter.create ();
+    (* The dispatch cost is charged explicitly, so the owner itself has no
+       switch-in cost; transparency means returning from an interrupt does
+       not re-charge the interrupted thread's context switch. *)
+    irq_owner = Cpu.owner ~transparent:true cpu ~name:(name ^ ".irq") ~switch_in:0;
+  }
+
+let work t span =
+  Cpu.consume t.cpu t.irq_owner ~priority:t.priority ~atomic:true span
+
+let post t ~name fn =
+  Stats.Counter.incr t.count;
+  Engine.spawn t.eng ~name:(t.iname ^ ".irq." ^ name) (fun () ->
+      Resource.with_held t.serial (fun () ->
+          work t t.dispatch_ns;
+          fn t))
+
+let posted t = Stats.Counter.value t.count
+let ctx_engine (t : ctx) = t.eng

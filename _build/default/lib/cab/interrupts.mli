@@ -1,0 +1,38 @@
+(** Interrupt dispatch for a CPU (CAB or host).
+
+    [post] queues an interrupt; its handler then runs as a run-to-completion
+    activity at interrupt priority: a dispatch cost followed by whatever CPU
+    work the handler charges through {!work}.  Handler work is atomic (the
+    model of running with interrupts implicitly masked at interrupt level,
+    paper §3.1), and handlers never overlap — posting while a handler runs
+    queues the new one behind it, like a pended interrupt line.
+
+    Threads mask interrupts around critical sections by issuing their own
+    atomic CPU work (see {!Nectar_core.Thread.with_interrupts_masked}): the
+    CPU model then delays handler dispatch until the section ends. *)
+
+type t
+
+type ctx
+
+val create :
+  Nectar_sim.Engine.t ->
+  Nectar_sim.Cpu.t ->
+  ?dispatch_ns:int ->
+  ?priority:int ->
+  name:string ->
+  unit ->
+  t
+
+val post : t -> name:string -> (ctx -> unit) -> unit
+(** Queue an interrupt whose handler is [fn].  May be called from processes
+    or timer callbacks.  The handler must not block (no waiting operations);
+    it may charge CPU via {!work} and wake threads. *)
+
+val work : ctx -> Nectar_sim.Sim_time.span -> unit
+(** Charge handler CPU time (at interrupt priority, atomic). *)
+
+val ctx_engine : ctx -> Nectar_sim.Engine.t
+
+val posted : t -> int
+(** Total interrupts posted (for stats). *)

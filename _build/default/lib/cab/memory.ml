@@ -1,0 +1,70 @@
+type perm = No_access | Read_only | Read_write
+
+exception Protection_fault of { domain : int; page : int; write : bool }
+
+let domain_count = 8
+let page_bytes = Costs.page_bytes
+
+type t = {
+  mem : Bytes.t;
+  perms : perm array array; (* domain -> page -> perm *)
+  mutable domain : int;
+}
+
+let create ?(data_bytes = Costs.data_memory_bytes) () =
+  let pages = (data_bytes + page_bytes - 1) / page_bytes in
+  {
+    mem = Bytes.make data_bytes '\000';
+    perms =
+      Array.init domain_count (fun d ->
+          Array.make pages (if d = 0 then Read_write else No_access));
+    domain = 0;
+  }
+
+let data t = t.mem
+let data_bytes t = Bytes.length t.mem
+let page_of pos = pos / page_bytes
+
+let check_page t ~domain ~page =
+  if domain < 0 || domain >= domain_count then
+    invalid_arg "Memory: bad domain";
+  if page < 0 || page >= Array.length t.perms.(0) then
+    invalid_arg "Memory: bad page"
+
+let set_page_perm t ~domain ~page perm =
+  check_page t ~domain ~page;
+  t.perms.(domain).(page) <- perm
+
+let page_perm t ~domain ~page =
+  check_page t ~domain ~page;
+  t.perms.(domain).(page)
+
+let grant_range t ~domain ~pos ~len perm =
+  if len > 0 then
+    for page = page_of pos to page_of (pos + len - 1) do
+      set_page_perm t ~domain ~page perm
+    done
+
+let set_domain t d =
+  if d < 0 || d >= domain_count then invalid_arg "Memory.set_domain";
+  t.domain <- d
+
+let current_domain t = t.domain
+
+let check t ~pos ~len ~write =
+  if pos < 0 || len < 0 || pos + len > Bytes.length t.mem then
+    invalid_arg "Memory: access out of range";
+  if len > 0 then
+    for page = page_of pos to page_of (pos + len - 1) do
+      let ok =
+        match t.perms.(t.domain).(page) with
+        | Read_write -> true
+        | Read_only -> not write
+        | No_access -> false
+      in
+      if not ok then
+        raise (Protection_fault { domain = t.domain; page; write })
+    done
+
+let checked_read t ~pos ~len = check t ~pos ~len ~write:false
+let checked_write t ~pos ~len = check t ~pos ~len ~write:true

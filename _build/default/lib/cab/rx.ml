@@ -1,0 +1,108 @@
+open Nectar_sim
+
+type pending = {
+  pframe : Nectar_hub.Frame.t;
+  mutable arrived : int; (* bytes pushed into the FIFO so far *)
+  mutable consumed : int; (* bytes popped out of the FIFO so far *)
+  arrival : Waitq.t;
+}
+
+type t = {
+  eng : Engine.t;
+  irq : Interrupts.t;
+  fifo : Byte_fifo.t;
+  rname : string;
+  mutable handler : (Interrupts.ctx -> pending -> unit) option;
+  mutable drops : int;
+}
+
+let create eng irq ~fifo ~name =
+  { eng; irq; fifo; rname = name; handler = None; drops = 0 }
+
+let set_frame_handler t fn = t.handler <- Some fn
+
+let frame p = p.pframe
+let arrived p = p.arrived
+let total p = Nectar_hub.Frame.length p.pframe
+
+let sink t =
+  let table : (int, pending) Hashtbl.t = Hashtbl.create 8 in
+  let on_frame_start fr =
+    let p =
+      {
+        pframe = fr;
+        arrived = 0;
+        consumed = 0;
+        arrival = Waitq.create t.eng ~name:(t.rname ^ ".rx-arrival") ();
+      }
+    in
+    Hashtbl.replace table fr.Nectar_hub.Frame.id p;
+    match t.handler with
+    | Some fn -> Interrupts.post t.irq ~name:"rx-frame" (fun ictx -> fn ictx p)
+    | None -> failwith (t.rname ^ ": frame arrived with no rx handler")
+  in
+  let on_chunk fr ~arrived ~last =
+    match Hashtbl.find_opt table fr.Nectar_hub.Frame.id with
+    | None -> failwith (t.rname ^ ": chunk for unknown frame")
+    | Some p ->
+        p.arrived <- arrived;
+        if last then Hashtbl.remove table fr.Nectar_hub.Frame.id;
+        ignore (Waitq.broadcast p.arrival)
+  in
+  { Nectar_hub.Network.in_fifo = t.fifo; on_frame_start; on_chunk }
+
+let read_bytes t p n =
+  if p.consumed + n > p.arrived then
+    invalid_arg (t.rname ^ ": Rx.read_bytes beyond arrived data");
+  if not (Byte_fifo.try_pop t.fifo n) then
+    invalid_arg (t.rname ^ ": Rx.read_bytes FIFO underflow");
+  let b = Bytes.sub p.pframe.Nectar_hub.Frame.data p.consumed n in
+  p.consumed <- p.consumed + n;
+  b
+
+(* Copy loop shared by DMA-to-memory and discard: consume bytes as they
+   arrive, at memory-DMA speed, invoking [deliver] for each span. *)
+let drain_loop t p ~deliver ~on_done =
+  let len = total p in
+  Engine.spawn t.eng ~name:(t.rname ^ ".rx-dma") (fun () ->
+      while p.consumed < len do
+        while p.arrived <= p.consumed do
+          Waitq.wait p.arrival
+        done;
+        let n = p.arrived - p.consumed in
+        Byte_fifo.pop t.fifo n;
+        Engine.sleep t.eng (n * Costs.mem_dma_ns_per_byte);
+        deliver ~pos:p.consumed ~len:n;
+        p.consumed <- p.consumed + n
+      done;
+      on_done ())
+
+let dma_to_memory t p ~dst ~dst_pos ?(watch = []) ~on_complete () =
+  let base = p.consumed in
+  let remaining_watches = ref (List.sort compare watch) in
+  let deliver ~pos ~len =
+    Bytes.blit p.pframe.Nectar_hub.Frame.data pos dst (dst_pos + pos - base)
+      len;
+    let copied_to = pos + len in
+    let rec fire () =
+      match !remaining_watches with
+      | (off, fn) :: rest when off <= copied_to ->
+          remaining_watches := rest;
+          Interrupts.post t.irq ~name:"rx-watch" fn;
+          fire ()
+      | _ -> ()
+    in
+    fire ()
+  in
+  let on_done () =
+    let ok = Nectar_hub.Frame.crc_ok p.pframe in
+    Interrupts.post t.irq ~name:"rx-done" (fun ictx ->
+        on_complete ictx ~crc_ok:ok)
+  in
+  drain_loop t p ~deliver ~on_done
+
+let discard t p =
+  t.drops <- t.drops + 1;
+  drain_loop t p ~deliver:(fun ~pos:_ ~len:_ -> ()) ~on_done:(fun () -> ())
+
+let dropped_frames t = t.drops

@@ -1,0 +1,57 @@
+(** CAB receive engine: input FIFO, start-of-packet interrupt and receive
+    DMA (paper §2.2, §4.1).
+
+    The network fabric pushes frame bytes into the CAB's input FIFO; the
+    first chunk triggers a start-of-packet interrupt carrying a {!pending}
+    descriptor.  The datalink handler reads the header with {!read_bytes},
+    then either programs {!dma_to_memory} — which copies the rest of the
+    frame into CAB memory as it arrives, firing *watch* callbacks when given
+    frame offsets have landed (the start-of-data upcall) and a completion
+    callback with the hardware CRC verdict (the end-of-data upcall) — or
+    {!discard}s the frame. *)
+
+type t
+
+type pending
+
+val create :
+  Nectar_sim.Engine.t -> Interrupts.t -> fifo:Nectar_sim.Byte_fifo.t ->
+  name:string -> t
+
+val set_frame_handler : t -> (Interrupts.ctx -> pending -> unit) -> unit
+(** Interrupt-level handler for start-of-packet; it receives the pending
+    frame with at least the first chunk arrived. *)
+
+val sink : t -> Nectar_hub.Network.sink
+(** What to register with {!Nectar_hub.Network.attach_node}. *)
+
+val frame : pending -> Nectar_hub.Frame.t
+val arrived : pending -> int
+val total : pending -> int
+
+val read_bytes : t -> pending -> int -> Bytes.t
+(** Pop the next [n] arrived bytes out of the FIFO (CPU header read).  The
+    caller charges its own CPU cost.  Raises if the bytes have not arrived
+    yet — callers read only within the first chunk from the start-of-packet
+    handler. *)
+
+val dma_to_memory :
+  t ->
+  pending ->
+  dst:Bytes.t ->
+  dst_pos:int ->
+  ?watch:(int * (Interrupts.ctx -> unit)) list ->
+  on_complete:(Interrupts.ctx -> crc_ok:bool -> unit) ->
+  unit ->
+  unit
+(** Program receive DMA for the rest of the frame.  Returns immediately;
+    the copy tracks arrival.  Each [(frame_offset, fn)] watch fires (at
+    interrupt level) once bytes up to [frame_offset] have been copied;
+    [on_complete] fires (at interrupt level) after the last byte, with the
+    hardware CRC check result. *)
+
+val discard : t -> pending -> unit
+(** Drain the rest of the frame from the FIFO without storing it. *)
+
+val dropped_frames : t -> int
+(** Frames discarded (for the datalink's statistics). *)

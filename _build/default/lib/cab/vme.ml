@@ -1,0 +1,40 @@
+open Nectar_sim
+
+type t = {
+  eng : Engine.t;
+  bus_res : Resource.t;
+  moved : Stats.Counter.t;
+}
+
+let create eng ~name =
+  {
+    eng;
+    bus_res = Resource.create eng ~name:(name ^ ".vme") ();
+    moved = Stats.Counter.create ();
+  }
+
+let bus t = t.bus_res
+
+let pio t ~cpu ~owner ~priority ~bytes =
+  if bytes < 0 then invalid_arg "Vme.pio";
+  let remaining = ref bytes in
+  while !remaining > 0 do
+    let n = min !remaining Costs.vme_pio_batch_bytes in
+    let words = (n + 3) / 4 in
+    Resource.with_held t.bus_res (fun () ->
+        Cpu.consume cpu owner ~priority ~atomic:true
+          (words * Costs.vme_word_ns));
+    remaining := !remaining - n
+  done;
+  Stats.Counter.add t.moved bytes
+
+let pio_words t ~cpu ~owner ~priority ~words =
+  pio t ~cpu ~owner ~priority ~bytes:(words * 4)
+
+let dma t ~bytes =
+  if bytes < 0 then invalid_arg "Vme.dma";
+  Resource.with_held t.bus_res (fun () ->
+      Engine.sleep t.eng (bytes * Costs.vme_dma_ns_per_byte));
+  Stats.Counter.add t.moved bytes
+
+let bytes_moved t = Stats.Counter.value t.moved

@@ -1,0 +1,1 @@
+lib/core/buffer_heap.ml: Hashtbl List

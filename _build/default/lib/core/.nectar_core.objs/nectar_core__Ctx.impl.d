@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Nectar_cab Nectar_sim

@@ -1,0 +1,1 @@
+lib/core/ctx.mli: Nectar_cab Nectar_sim

@@ -1,0 +1,1 @@
+lib/core/lock.ml: Ctx Nectar_cab Nectar_sim Resource Waitq

@@ -1,0 +1,1 @@
+lib/core/lock.mli: Ctx Nectar_sim

@@ -1,0 +1,1 @@
+lib/core/mailbox.ml: Buffer_heap Bytes Ctx Engine Message Nectar_cab Nectar_sim Queue Stats Waitq

@@ -1,0 +1,1 @@
+lib/core/mailbox.mli: Buffer_heap Bytes Ctx Message Nectar_sim

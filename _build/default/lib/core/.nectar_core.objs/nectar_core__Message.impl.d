@@ -1,0 +1,1 @@
+lib/core/message.ml: Bytes Ctx Nectar_util String

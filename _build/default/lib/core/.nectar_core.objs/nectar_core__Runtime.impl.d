@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Buffer_heap Cab Costs Ctx Hashtbl Interrupts Mailbox Memory Nectar_cab Nectar_sim Printf Stats Thread

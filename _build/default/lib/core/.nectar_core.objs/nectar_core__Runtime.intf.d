@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Buffer_heap Bytes Ctx Mailbox Nectar_cab Nectar_sim Thread

@@ -1,0 +1,1 @@
+lib/core/sync.ml: Ctx Nectar_cab Nectar_sim Waitq

@@ -1,0 +1,1 @@
+lib/core/sync.mli: Ctx Nectar_sim

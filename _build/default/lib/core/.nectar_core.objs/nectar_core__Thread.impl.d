@@ -1,0 +1,1 @@
+lib/core/thread.ml: Cab Costs Cpu Ctx Engine Nectar_cab Nectar_sim Waitq

@@ -1,0 +1,1 @@
+lib/core/thread.mli: Ctx Nectar_cab Nectar_sim

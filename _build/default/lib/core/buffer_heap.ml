@@ -1,0 +1,94 @@
+let align = 4
+
+type t = {
+  base : int;
+  size : int;
+  mutable free_list : (int * int) list; (* (offset, length), sorted, coalesced *)
+  live : (int, int) Hashtbl.t; (* offset -> allocated length *)
+  mutable allocated : int;
+}
+
+let create ~base ~size =
+  if base < 0 || size <= 0 then invalid_arg "Buffer_heap.create";
+  {
+    base;
+    size;
+    free_list = [ (base, size) ];
+    live = Hashtbl.create 64;
+    allocated = 0;
+  }
+
+let round n = (n + align - 1) / align * align
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Buffer_heap.alloc";
+  let n = round n in
+  let rec first_fit acc = function
+    | [] -> None
+    | (off, len) :: rest when len >= n ->
+        let remainder = if len = n then [] else [ (off + n, len - n) ] in
+        t.free_list <- List.rev_append acc (remainder @ rest);
+        Hashtbl.replace t.live off n;
+        t.allocated <- t.allocated + n;
+        Some off
+    | block :: rest -> first_fit (block :: acc) rest
+  in
+  first_fit [] t.free_list
+
+let free t off =
+  match Hashtbl.find_opt t.live off with
+  | None -> invalid_arg "Buffer_heap.free: not a live allocation"
+  | Some len ->
+      Hashtbl.remove t.live off;
+      t.allocated <- t.allocated - len;
+      (* insert sorted, coalescing with neighbours *)
+      let rec insert = function
+        | [] -> [ (off, len) ]
+        | (o, l) :: rest when o + l = off -> (
+            (* merge with left neighbour, then maybe with its right *)
+            match rest with
+            | (o2, l2) :: rest2 when off + len = o2 ->
+                (o, l + len + l2) :: rest2
+            | _ -> (o, l + len) :: rest)
+        | (o, l) :: rest when off + len = o -> (off, len + l) :: rest
+        | (o, l) :: rest when off < o -> (off, len) :: (o, l) :: rest
+        | block :: rest -> block :: insert rest
+      in
+      t.free_list <- insert t.free_list
+
+let block_size t off =
+  match Hashtbl.find_opt t.live off with
+  | Some len -> len
+  | None -> invalid_arg "Buffer_heap.block_size: not a live allocation"
+
+let live_blocks t = Hashtbl.length t.live
+let allocated_bytes t = t.allocated
+let free_bytes t = t.size - t.allocated
+
+let largest_free_block t =
+  List.fold_left (fun acc (_, len) -> max acc len) 0 t.free_list
+
+let check_invariants t =
+  let regions =
+    Hashtbl.fold (fun off len acc -> (off, len) :: acc) t.live []
+    @ t.free_list
+  in
+  let sorted = List.sort compare regions in
+  let rec walk expected = function
+    | [] ->
+        if expected <> t.base + t.size then
+          failwith "Buffer_heap: coverage gap at end"
+    | (off, len) :: rest ->
+        if off <> expected then failwith "Buffer_heap: gap or overlap";
+        if len <= 0 then failwith "Buffer_heap: empty region";
+        walk (off + len) rest
+  in
+  walk t.base sorted;
+  (* free list must be sorted and fully coalesced *)
+  let rec check_free = function
+    | (o1, l1) :: ((o2, _) :: _ as rest) ->
+        if o1 + l1 >= o2 then failwith "Buffer_heap: free list not coalesced";
+        check_free rest
+    | _ -> ()
+  in
+  check_free t.free_list

@@ -1,0 +1,32 @@
+(** First-fit allocator over the CAB data memory.
+
+    "Buffer space for messages is allocated from a common heap ... shared
+    among all mailboxes on the CAB" (paper §3.3).  Offsets are byte
+    positions in the CAB data-memory region; blocks are 4-byte aligned.
+    Frees must match allocations exactly; adjacent free blocks coalesce. *)
+
+type t
+
+val create : base:int -> size:int -> t
+
+val alloc : t -> int -> int option
+(** [alloc t n] returns the offset of a fresh [n]-byte block, or [None] when
+    no free block fits. *)
+
+val free : t -> int -> unit
+(** Release the block at this offset.  Raises [Invalid_argument] when the
+    offset is not a live allocation. *)
+
+val block_size : t -> int -> int
+(** The allocated size of a live block (rounded to alignment). *)
+
+val live_blocks : t -> int
+val allocated_bytes : t -> int
+val free_bytes : t -> int
+
+val largest_free_block : t -> int
+(** For fragmentation reporting. *)
+
+val check_invariants : t -> unit
+(** Validate internal consistency (no overlap, full coverage); used by the
+    property tests.  Raises [Failure] on corruption. *)

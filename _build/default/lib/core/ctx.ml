@@ -1,0 +1,20 @@
+type t = {
+  eng : Nectar_sim.Engine.t;
+  work : Nectar_sim.Sim_time.span -> unit;
+  may_block : bool;
+  ctx_name : string;
+  on_cpu : (Nectar_sim.Cpu.t * Nectar_sim.Cpu.owner * int) option;
+}
+
+let of_interrupt ictx =
+  {
+    eng = Nectar_cab.Interrupts.ctx_engine ictx;
+    work = Nectar_cab.Interrupts.work ictx;
+    may_block = false;
+    ctx_name = "interrupt";
+    on_cpu = None;
+  }
+
+let assert_may_block t op =
+  if not t.may_block then
+    invalid_arg (op ^ ": blocking operation from " ^ t.ctx_name)

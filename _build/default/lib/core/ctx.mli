@@ -1,0 +1,28 @@
+(** Execution context: *who* is running a runtime operation.
+
+    Every runtime-system operation (mailboxes, syncs, locks) is executed by
+    some actor — a CAB thread, an interrupt handler, or (via the host
+    library) a host process.  The context bundles what the operation needs
+    from its actor: how to charge CPU time, and whether blocking is legal
+    (interrupt handlers must use the non-blocking operation variants,
+    paper §3.3). *)
+
+type t = {
+  eng : Nectar_sim.Engine.t;
+  work : Nectar_sim.Sim_time.span -> unit;
+      (** charge CPU time to the actor *)
+  may_block : bool;
+  ctx_name : string;
+  on_cpu : (Nectar_sim.Cpu.t * Nectar_sim.Cpu.owner * int) option;
+      (** the actor's (cpu, owner, priority), when it runs on a modeled
+          CPU — lets bus transfers (VME programmed I/O) stall the right
+          execution context instead of a synthetic one *)
+}
+
+val of_interrupt : Nectar_cab.Interrupts.ctx -> t
+(** Context for code running in an interrupt handler: work is charged at
+    interrupt priority and blocking is forbidden. *)
+
+val assert_may_block : t -> string -> unit
+(** Raise [Invalid_argument] when a blocking operation is attempted from a
+    non-blocking context (e.g. an interrupt handler). *)

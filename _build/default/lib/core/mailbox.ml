@@ -1,0 +1,196 @@
+open Nectar_sim
+module Costs = Nectar_cab.Costs
+
+type cached_buffer = { coff : int; clen : int; mutable busy : bool }
+
+type t = {
+  mname : string;
+  eng : Engine.t;
+  heap : Buffer_heap.t;
+  mem : Bytes.t;
+  limit : int;
+  mutable in_use : int;
+  queue : Message.t Queue.t;
+  space_q : Waitq.t;
+  data_q : Waitq.t;
+  mutable upcall : (Ctx.t -> t -> unit) option;
+  mutable on_space_freed : (unit -> unit) option;
+  cache : cached_buffer option;
+  put_count : Stats.Counter.t;
+  get_count : Stats.Counter.t;
+  cache_hit_count : Stats.Counter.t;
+}
+
+let create eng ~heap ~mem ~name ?(byte_limit = 64 * 1024)
+    ?(cached_buffer_bytes = 128) ?upcall () =
+  let cache =
+    if cached_buffer_bytes <= 0 then None
+    else
+      match Buffer_heap.alloc heap cached_buffer_bytes with
+      | Some coff -> Some { coff; clen = cached_buffer_bytes; busy = false }
+      | None -> invalid_arg "Mailbox.create: heap exhausted"
+  in
+  {
+    mname = name;
+    eng;
+    heap;
+    mem;
+    limit = byte_limit;
+    in_use = 0;
+    queue = Queue.create ();
+    space_q = Waitq.create eng ~name:(name ^ ".space") ();
+    data_q = Waitq.create eng ~name:(name ^ ".data") ();
+    upcall;
+    on_space_freed = None;
+    cache;
+    put_count = Stats.Counter.create ();
+    get_count = Stats.Counter.create ();
+    cache_hit_count = Stats.Counter.create ();
+  }
+
+let name t = t.mname
+let set_upcall t u = t.upcall <- u
+let set_on_space_freed t f = t.on_space_freed <- f
+
+(* Ownership callbacks installed on messages this mailbox owns.  Freeing the
+   buffer itself is *not* here: it is fixed at allocation time
+   (Message.free_buffer), so a message enqueued to another mailbox still
+   returns its buffer to where it came from. *)
+let rec install t (msg : Message.t) =
+  msg.on_end_get <- release t;
+  msg.on_disown <- uncharge t
+
+and release t ctx (msg : Message.t) =
+  if msg.state = Message.Freed then invalid_arg "Mailbox: double free";
+  ctx.Ctx.work Costs.mbox_end_get_ns;
+  msg.state <- Message.Freed;
+  uncharge t msg;
+  msg.free_buffer ()
+
+and uncharge t (msg : Message.t) =
+  t.in_use <- t.in_use - msg.buf_len;
+  ignore (Waitq.broadcast t.space_q);
+  match t.on_space_freed with Some f -> f () | None -> ()
+
+let take_buffer t (ctx : Ctx.t) n =
+  match t.cache with
+  | Some c when (not c.busy) && n <= c.clen ->
+      c.busy <- true;
+      Stats.Counter.incr t.cache_hit_count;
+      Some (c.coff, c.clen, fun () -> c.busy <- false)
+  | _ -> (
+      ctx.work Costs.heap_alloc_ns;
+      match Buffer_heap.alloc t.heap (max 4 n) with
+      | Some off ->
+          Some
+            ( off,
+              Buffer_heap.block_size t.heap off,
+              fun () -> Buffer_heap.free t.heap off )
+      | None -> None)
+
+let try_begin_put (ctx : Ctx.t) t n =
+  if n < 0 then invalid_arg "Mailbox.begin_put: negative size";
+  ctx.work Costs.mbox_begin_put_ns;
+  if t.in_use + n > t.limit then None
+  else
+    match take_buffer t ctx n with
+    | None -> None
+    | Some (buf_off, buf_len, free_buffer) ->
+        t.in_use <- t.in_use + buf_len;
+        let msg = Message.make ~mem:t.mem ~buf_off ~buf_len ~len:n ~free_buffer in
+        install t msg;
+        Some msg
+
+let begin_put ctx t n =
+  Ctx.assert_may_block ctx "Mailbox.begin_put";
+  if n > t.limit then
+    invalid_arg "Mailbox.begin_put: larger than mailbox byte limit";
+  let rec attempt () =
+    match try_begin_put ctx t n with
+    | Some msg -> msg
+    | None ->
+        Waitq.wait t.space_q;
+        attempt ()
+  in
+  attempt ()
+
+let queue_message (ctx : Ctx.t) t (msg : Message.t) =
+  msg.state <- Message.Queued;
+  Queue.add msg t.queue;
+  Stats.Counter.incr t.put_count;
+  ignore (Waitq.signal t.data_q);
+  match t.upcall with
+  | Some u ->
+      ctx.work Costs.upcall_ns;
+      u ctx t
+  | None -> ()
+
+let end_put (ctx : Ctx.t) t (msg : Message.t) =
+  if msg.state <> Message.Writing then
+    invalid_arg "Mailbox.end_put: message not in writing state";
+  ctx.work Costs.mbox_end_put_ns;
+  queue_message ctx t msg
+
+let dispose (ctx : Ctx.t) (msg : Message.t) =
+  (match msg.state with
+  | Message.Writing | Message.Reading -> ()
+  | Message.Queued | Message.Freed ->
+      invalid_arg "Mailbox.dispose: message not held by the caller");
+  ignore ctx;
+  msg.state <- Message.Freed;
+  msg.on_disown msg;
+  msg.free_buffer ()
+
+let abort_put (ctx : Ctx.t) t (msg : Message.t) =
+  if msg.state <> Message.Writing then
+    invalid_arg "Mailbox.abort_put: message not in writing state";
+  ignore t;
+  dispose ctx msg
+
+let try_begin_get (ctx : Ctx.t) t =
+  ctx.work Costs.mbox_begin_get_ns;
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some msg ->
+      msg.state <- Message.Reading;
+      Stats.Counter.incr t.get_count;
+      Some msg
+
+let begin_get ctx t =
+  Ctx.assert_may_block ctx "Mailbox.begin_get";
+  let rec attempt () =
+    match try_begin_get ctx t with
+    | Some msg -> msg
+    | None ->
+        Waitq.wait t.data_q;
+        attempt ()
+  in
+  attempt ()
+
+let end_get ctx (msg : Message.t) =
+  if msg.state <> Message.Reading then
+    invalid_arg "Mailbox.end_get: message not held by a reader";
+  msg.on_end_get ctx msg
+
+let enqueue (ctx : Ctx.t) (msg : Message.t) dst =
+  (match msg.state with
+  | Message.Reading | Message.Writing -> ()
+  | Message.Queued | Message.Freed ->
+      invalid_arg "Mailbox.enqueue: message not held by the caller");
+  ctx.work Costs.mbox_enqueue_ns;
+  (* Transfer accounting from the current owner, then adopt; the buffer
+     itself stays put — only queue pointers move (paper §3.3). *)
+  msg.on_disown msg;
+  dst.in_use <- dst.in_use + msg.buf_len;
+  install dst msg;
+  queue_message ctx dst msg
+
+let queued_messages t = Queue.length t.queue
+
+let queued_bytes t =
+  Queue.fold (fun acc m -> acc + Message.length m) 0 t.queue
+
+let bytes_in_use t = t.in_use
+let puts t = Stats.Counter.value t.put_count
+let gets t = Stats.Counter.value t.get_count
+let cache_hits t = Stats.Counter.value t.cache_hit_count

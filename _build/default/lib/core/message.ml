@@ -1,0 +1,89 @@
+type state = Writing | Queued | Reading | Freed
+
+type t = {
+  mem : Bytes.t;
+  buf_off : int;
+  buf_len : int;
+  mutable off : int;
+  mutable len : int;
+  mutable state : state;
+  free_buffer : unit -> unit;
+  mutable on_end_get : Ctx.t -> t -> unit;
+  mutable on_disown : t -> unit;
+}
+
+let make ~mem ~buf_off ~buf_len ~len ~free_buffer =
+  if len < 0 || len > buf_len then invalid_arg "Message.make";
+  {
+    mem;
+    buf_off;
+    buf_len;
+    off = buf_off;
+    len;
+    state = Writing;
+    free_buffer;
+    on_end_get = (fun _ _ -> ());
+    on_disown = (fun _ -> ());
+  }
+
+let length t = t.len
+
+let adjust_head t n =
+  if n < 0 || n > t.len then invalid_arg "Message.adjust_head";
+  t.off <- t.off + n;
+  t.len <- t.len - n
+
+let adjust_tail t n =
+  if n < 0 || n > t.len then invalid_arg "Message.adjust_tail";
+  t.len <- t.len - n
+
+let push_head t n =
+  if n < 0 || t.off - n < t.buf_off then invalid_arg "Message.push_head";
+  t.off <- t.off - n;
+  t.len <- t.len + n
+
+let bounds t pos n =
+  if pos < 0 || n < 0 || pos + n > t.len then
+    invalid_arg "Message: access outside message data"
+
+let get_u8 t i =
+  bounds t i 1;
+  Nectar_util.Byte_view.get_u8 t.mem (t.off + i)
+
+let set_u8 t i v =
+  bounds t i 1;
+  Nectar_util.Byte_view.set_u8 t.mem (t.off + i) v
+
+let get_u16 t i =
+  bounds t i 2;
+  Nectar_util.Byte_view.get_u16 t.mem (t.off + i)
+
+let set_u16 t i v =
+  bounds t i 2;
+  Nectar_util.Byte_view.set_u16 t.mem (t.off + i) v
+
+let get_u32 t i =
+  bounds t i 4;
+  Nectar_util.Byte_view.get_u32 t.mem (t.off + i)
+
+let set_u32 t i v =
+  bounds t i 4;
+  Nectar_util.Byte_view.set_u32 t.mem (t.off + i) v
+
+let write_string t pos s =
+  bounds t pos (String.length s);
+  Bytes.blit_string s 0 t.mem (t.off + pos) (String.length s)
+
+let read_string t ~pos ~len =
+  bounds t pos len;
+  Bytes.sub_string t.mem (t.off + pos) len
+
+let to_string t = read_string t ~pos:0 ~len:t.len
+
+let blit_to t ~src_pos ~dst ~dst_pos ~len =
+  bounds t src_pos len;
+  Bytes.blit t.mem (t.off + src_pos) dst dst_pos len
+
+let blit_from t ~dst_pos ~src ~src_pos ~len =
+  bounds t dst_pos len;
+  Bytes.blit src src_pos t.mem (t.off + dst_pos) len

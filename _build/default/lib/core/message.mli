@@ -1,0 +1,66 @@
+(** A message: a byte range inside a buffer in CAB data memory, moving
+    through the two-phase mailbox state machine of paper Figure 5
+    (writing -> queued -> reading -> freed).
+
+    Messages support in-place "adjust" operations that remove a prefix or
+    suffix without copying (paper §3.3) — how protocol layers strip their
+    headers — and [set_bounds]/[grow_head] style reuse is deliberately not
+    offered: a message never grows beyond the buffer it was allocated in.
+
+    Ownership plumbing: the mailbox that currently owns the message installs
+    [release]/[disown] callbacks (set at allocation and updated by
+    [Mailbox.enqueue]); user code never touches them. *)
+
+type state = Writing | Queued | Reading | Freed
+
+type t = {
+  mem : Bytes.t;  (** the CAB data-memory region backing this message *)
+  buf_off : int;  (** underlying buffer start *)
+  buf_len : int;  (** underlying buffer length *)
+  mutable off : int;  (** current data start *)
+  mutable len : int;  (** current data length *)
+  mutable state : state;
+  free_buffer : unit -> unit;
+      (** return the buffer to where it was allocated from; fixed for the
+          message's lifetime even as ownership moves between mailboxes *)
+  mutable on_end_get : Ctx.t -> t -> unit;
+      (** current owner's release routine *)
+  mutable on_disown : t -> unit;
+      (** drop the message from the current owner's byte accounting *)
+}
+
+val make :
+  mem:Bytes.t ->
+  buf_off:int ->
+  buf_len:int ->
+  len:int ->
+  free_buffer:(unit -> unit) ->
+  t
+(** Ownership callbacks start as no-ops; the owning mailbox installs them. *)
+
+val length : t -> int
+
+val adjust_head : t -> int -> unit
+(** Drop [n] bytes from the front, in place. *)
+
+val adjust_tail : t -> int -> unit
+(** Drop [n] bytes from the end, in place. *)
+
+val push_head : t -> int -> unit
+(** Re-extend the front by [n] bytes (undo an [adjust_head]); protocol
+    layers use this to prepend their headers into reserved headroom.  The
+    front can never grow beyond the underlying buffer. *)
+
+(** {1 Data access, relative to the current data start} *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+val write_string : t -> int -> string -> unit
+val read_string : t -> pos:int -> len:int -> string
+val to_string : t -> string
+val blit_to : t -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
+val blit_from : t -> dst_pos:int -> src:Bytes.t -> src_pos:int -> len:int -> unit

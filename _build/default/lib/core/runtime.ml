@@ -1,0 +1,77 @@
+open Nectar_sim
+open Nectar_cab
+
+type t = {
+  rcab : Cab.t;
+  rheap : Buffer_heap.t;
+  ports : (int, Mailbox.t) Hashtbl.t;
+  opcodes : (int, Ctx.t -> param:int -> unit) Hashtbl.t;
+  mutable host_notifier : (opcode:int -> param:int -> unit) option;
+  host_notify_count : Stats.Counter.t;
+  cab_signal_count : Stats.Counter.t;
+}
+
+let create cab =
+  {
+    rcab = cab;
+    rheap =
+      Buffer_heap.create ~base:0
+        ~size:(Memory.data_bytes (Cab.memory cab));
+    ports = Hashtbl.create 16;
+    opcodes = Hashtbl.create 16;
+    host_notifier = None;
+    host_notify_count = Stats.Counter.create ();
+    cab_signal_count = Stats.Counter.create ();
+  }
+
+let cab t = t.rcab
+let engine t = Cab.engine t.rcab
+let heap t = t.rheap
+let mem t = Memory.data (Cab.memory t.rcab)
+let node_id t = Cab.node_id t.rcab
+
+let spawn_thread t ?priority ~name body =
+  Thread.create t.rcab ?priority ~name body
+
+let create_mailbox t ~name ?port ?byte_limit ?cached_buffer_bytes ?upcall () =
+  let mbox =
+    Mailbox.create (engine t) ~heap:t.rheap ~mem:(mem t) ~name ?byte_limit
+      ?cached_buffer_bytes ?upcall ()
+  in
+  (match port with
+  | Some p ->
+      if Hashtbl.mem t.ports p then
+        invalid_arg
+          (Printf.sprintf "Runtime: port %d already bound on %s" p
+             (Cab.name t.rcab));
+      Hashtbl.replace t.ports p mbox
+  | None -> ());
+  mbox
+
+let mailbox_at t ~port = Hashtbl.find_opt t.ports port
+
+let register_opcode t ~opcode fn =
+  if Hashtbl.mem t.opcodes opcode then
+    invalid_arg "Runtime.register_opcode: opcode already registered";
+  Hashtbl.replace t.opcodes opcode fn
+
+let post_to_cab t ~opcode ~param =
+  Stats.Counter.incr t.cab_signal_count;
+  match Hashtbl.find_opt t.opcodes opcode with
+  | None -> invalid_arg "Runtime.post_to_cab: unregistered opcode"
+  | Some fn ->
+      Interrupts.post (Cab.irq t.rcab) ~name:"cab-signal" (fun ictx ->
+          let ctx = Ctx.of_interrupt ictx in
+          ctx.work Costs.signal_queue_op_ns;
+          fn ctx ~param)
+
+let set_host_notifier t n = t.host_notifier <- n
+
+let notify_host t ~opcode ~param =
+  Stats.Counter.incr t.host_notify_count;
+  match t.host_notifier with
+  | Some fn -> fn ~opcode ~param
+  | None -> ()
+
+let host_notifications t = Stats.Counter.value t.host_notify_count
+let cab_signals t = Stats.Counter.value t.cab_signal_count

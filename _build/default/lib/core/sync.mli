@@ -1,0 +1,28 @@
+(** Syncs: lightweight one-word synchronization (paper §3.4).
+
+    A sync carries a single word from a writer to exactly one asynchronous
+    reader.  [read] blocks until the value is written, then frees the sync;
+    [cancel] lets the reader walk away, leaving the sync to be freed by a
+    subsequent [write].  Writing is a tiny critical section (done with
+    interrupts masked on the CAB; offloaded over the signal queue from the
+    host — see [Nectar_host.Hostlib]). *)
+
+type t
+
+type state = Empty | Written of int | Canceled | Freed
+
+val alloc : Ctx.t -> Nectar_sim.Engine.t -> name:string -> t
+
+val write : Ctx.t -> t -> int -> unit
+(** Deposit the value and wake the reader.  Writing a canceled sync frees
+    it; writing twice is an error. *)
+
+val read : Ctx.t -> t -> int
+(** Block until written; returns the value and frees the sync. *)
+
+val try_read : Ctx.t -> t -> int option
+(** Non-blocking poll; on [Some v] the sync is freed. *)
+
+val cancel : Ctx.t -> t -> unit
+
+val state : t -> state

@@ -1,0 +1,1 @@
+lib/dsm/dsm.ml: Array Buffer_heap Bytes Ctx Engine Hashtbl Lock Nectar_cab Nectar_core Nectar_proto Nectar_sim Printf Reqresp Runtime Scanf Sim_time Stack String

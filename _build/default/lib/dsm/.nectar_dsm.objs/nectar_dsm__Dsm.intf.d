@@ -1,0 +1,1 @@
+lib/dsm/dsm.mli: Nectar_core Nectar_proto

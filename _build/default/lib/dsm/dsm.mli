@@ -1,0 +1,60 @@
+(** Network shared memory over Nectar (paper §5.3).
+
+    "Using Mach together with Nectar, we are investigating network shared
+    memory.  The CABs will run external pager tasks that cooperate to
+    provide the required consistency guarantees."
+
+    This is that system: a page-granular distributed shared memory whose
+    *pager* runs as a system thread on each CAB, serving page faults over
+    the request-response protocol and keeping page frames in CAB data
+    memory (real bytes, allocated from the runtime's buffer heap).
+
+    Coherence is single-writer / multiple-reader with write-invalidate,
+    directory-based: every page has a *home* CAB (round-robin by page
+    number) whose pager tracks the current owner and copyset.
+
+    - a read fault fetches the page from its owner via the home and caches
+      it in [Read] mode;
+    - a write fault invalidates every cached copy and transfers exclusive
+      ownership;
+    - pages are accessed through {!read}/{!write}, which fault as needed
+      and then touch the local frame.
+
+    The result is sequentially consistent for data-race-free programs;
+    {!with_lock} provides the accompanying mutual exclusion (a home-node
+    lock service over the same transport). *)
+
+type t
+(** A DSM region spanning a set of CABs. *)
+
+type node
+(** One CAB's view of the region. *)
+
+val create :
+  Nectar_proto.Stack.t list -> pages:int -> page_bytes:int -> t
+(** Build a region over the given stacks (each hosts a pager thread).
+    Page [p]'s home is node [p mod length stacks]; initially every page is
+    owned by its home, zero-filled. *)
+
+val node : t -> int -> node
+(** The view of the i-th participating stack. *)
+
+val page_bytes : t -> int
+val pages : t -> int
+
+val read : Nectar_core.Ctx.t -> node -> addr:int -> len:int -> string
+(** Read bytes (within one page), faulting the page to [Read] mode if not
+    cached. *)
+
+val write : Nectar_core.Ctx.t -> node -> addr:int -> string -> unit
+(** Write bytes (within one page), faulting to [Write] (exclusive) mode. *)
+
+val with_lock : Nectar_core.Ctx.t -> node -> lock:int -> (unit -> 'a) -> 'a
+(** Region-wide mutual exclusion: lock [lock] lives on node
+    [lock mod nodes] and is granted FIFO over the transport. *)
+
+(** {1 Coherence statistics} *)
+
+val read_faults : node -> int
+val write_faults : node -> int
+val invalidations_received : node -> int

@@ -1,0 +1,1 @@
+lib/host/cab_driver.ml: Cpu Ctx Hashtbl Host Nectar_cab Nectar_core Nectar_sim Runtime Waitq

@@ -1,0 +1,1 @@
+lib/host/cab_driver.mli: Host Nectar_cab Nectar_core Nectar_sim

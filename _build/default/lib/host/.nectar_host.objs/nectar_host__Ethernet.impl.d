@@ -1,0 +1,1 @@
+lib/host/ethernet.ml: Ctx Engine Hashtbl Host List Nectar_cab Nectar_core Nectar_sim Queue Resource String Waitq

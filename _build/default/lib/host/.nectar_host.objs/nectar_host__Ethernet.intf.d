@@ -1,0 +1,1 @@
+lib/host/ethernet.mli: Host Nectar_core Nectar_sim

@@ -1,0 +1,1 @@
+lib/host/host.ml: Cpu Engine Nectar_cab Nectar_core Nectar_sim

@@ -1,0 +1,1 @@
+lib/host/host.mli: Nectar_cab Nectar_core Nectar_sim

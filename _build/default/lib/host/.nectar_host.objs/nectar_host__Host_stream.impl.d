@@ -1,0 +1,1 @@
+lib/host/host_stream.ml: Ctx Ethernet Nectar_core Netdev String

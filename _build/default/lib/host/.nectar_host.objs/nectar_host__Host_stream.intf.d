@@ -1,0 +1,1 @@
+lib/host/host_stream.mli: Ethernet Nectar_core Netdev

@@ -1,0 +1,1 @@
+lib/host/hostlib.ml: Cab_driver Ctx Engine Hashtbl Host Mailbox Message Nectar_cab Nectar_core Nectar_sim Queue Runtime Sim_time String

@@ -1,0 +1,1 @@
+lib/host/hostlib.mli: Cab_driver Nectar_core

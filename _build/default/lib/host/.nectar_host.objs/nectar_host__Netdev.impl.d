@@ -1,0 +1,1 @@
+lib/host/netdev.ml: Cab_driver Ctx Datalink Hashtbl Host Hostlib Mailbox Message Nectar_cab Nectar_core Nectar_proto Nectar_sim Queue Runtime Sim_time String Thread Waitq Wire

@@ -1,0 +1,1 @@
+lib/host/netdev.mli: Cab_driver Datalink Nectar_core Nectar_proto

@@ -1,0 +1,1 @@
+lib/host/socket_emul.ml: Cab_driver Ctx Hashtbl Hostlib Mailbox Message Nectar_core Nectar_proto Nectar_sim Resource Runtime Stack String Tcp Thread

@@ -1,0 +1,1 @@
+lib/host/socket_emul.mli: Cab_driver Nectar_core Nectar_proto

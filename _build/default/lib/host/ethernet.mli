@@ -1,0 +1,25 @@
+(** The 10 Mbit/s Ethernet baseline of Figure 8 and §6.3: "the same hosts
+    can do better using Ethernet — achieving 7.2 Mbit/s — because the
+    on-board Ethernet interfaces bypass the VME bus."
+
+    A shared-medium segment with on-board interfaces: no VME traffic; a
+    frame costs host-stack processing at both ends plus serialization on
+    the 10 Mbit/s wire (plus per-frame interface overhead). *)
+
+type t
+type station
+
+val create : Nectar_sim.Engine.t -> t
+val mtu : int
+
+val attach : t -> Host.t -> station
+val station_id : station -> int
+
+val bind : station -> port:int -> unit
+
+val send_datagram :
+  Nectar_core.Ctx.t -> station -> dst:int -> port:int -> string -> unit
+
+val recv_datagram : Nectar_core.Ctx.t -> station -> port:int -> string
+
+val frames_sent : t -> int

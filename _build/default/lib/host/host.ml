@@ -1,0 +1,42 @@
+open Nectar_sim
+module Costs = Nectar_cab.Costs
+
+type t = {
+  eng : Engine.t;
+  host_cpu : Cpu.t;
+  host_irq : Nectar_cab.Interrupts.t;
+  hname : string;
+}
+
+let create eng ~name =
+  let host_cpu = Cpu.create eng ~name:(name ^ ".cpu") () in
+  {
+    eng;
+    host_cpu;
+    host_irq =
+      Nectar_cab.Interrupts.create eng host_cpu
+        ~dispatch_ns:Costs.host_irq_dispatch_ns ~name ();
+    hname = name;
+  }
+
+let engine t = t.eng
+let cpu t = t.host_cpu
+let irq t = t.host_irq
+let name t = t.hname
+
+let spawn_process t ~name body =
+  let owner =
+    Cpu.owner t.host_cpu ~name ~switch_in:Costs.host_ctx_switch_ns
+  in
+  let ctx : Nectar_core.Ctx.t =
+    {
+      eng = t.eng;
+      work = (fun span -> Cpu.consume t.host_cpu owner ~priority:10 span);
+      may_block = true;
+      ctx_name = name;
+      on_cpu = Some (t.host_cpu, owner, 10);
+    }
+  in
+  Engine.spawn t.eng ~name (fun () -> body ctx)
+
+let syscall (ctx : Nectar_core.Ctx.t) = ctx.work Costs.host_syscall_ns

@@ -1,0 +1,22 @@
+(** A host workstation (a Sun-4 in the paper's deployment).
+
+    Hosts run user *processes* — preemptible contexts on the host CPU with
+    UNIX-scale costs (100 us process switch, 50 us syscall) from
+    {!Nectar_cab.Costs}.  A host talks to its CAB only through the VME
+    backplane (see {!Cab_driver}). *)
+
+type t
+
+val create : Nectar_sim.Engine.t -> name:string -> t
+
+val engine : t -> Nectar_sim.Engine.t
+val cpu : t -> Nectar_sim.Cpu.t
+val irq : t -> Nectar_cab.Interrupts.t
+val name : t -> string
+
+val spawn_process : t -> name:string -> (Nectar_core.Ctx.t -> unit) -> unit
+(** Fork a user process; its context charges the host CPU at user priority
+    with the host process-switch cost. *)
+
+val syscall : Nectar_core.Ctx.t -> unit
+(** Charge one kernel crossing. *)

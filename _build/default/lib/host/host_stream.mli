@@ -1,0 +1,39 @@
+(** A minimal sliding-window reliable stream over any host-level datagram
+    service, emulating the host-resident TCP of network-device mode
+    (paper §5.1) and the Ethernet baseline so Figure 8's reference lines
+    can be regenerated.
+
+    Not a full TCP: the fabric is lossless here (loss injection belongs to
+    the real CAB TCP tests), so the window and the per-packet acking are
+    what matter — they produce the pipelining whose bottleneck the bench
+    measures. *)
+
+type io = {
+  send : Nectar_core.Ctx.t -> port:int -> string -> unit;
+  recv : Nectar_core.Ctx.t -> port:int -> string;
+  stream_mtu : int;
+}
+
+val netdev_io : Netdev.t -> peer:int -> io
+val ethernet_io : Ethernet.station -> peer:int -> io
+
+val run_sender :
+  Nectar_core.Ctx.t ->
+  io ->
+  data_port:int ->
+  ack_port:int ->
+  total:int ->
+  ?window:int ->
+  unit ->
+  unit
+(** Push [total] bytes as MTU-sized datagrams, at most [window] (default 8)
+    unacknowledged packets in flight. *)
+
+val run_receiver :
+  Nectar_core.Ctx.t ->
+  io ->
+  data_port:int ->
+  ack_port:int ->
+  total:int ->
+  unit
+(** Consume [total] bytes, acknowledging every packet. *)

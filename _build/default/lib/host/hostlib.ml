@@ -1,0 +1,165 @@
+open Nectar_sim
+open Nectar_core
+module Costs = Nectar_cab.Costs
+
+type mode = Shared_memory | Rpc
+
+type handle = {
+  drv : Cab_driver.t;
+  mbox : Mailbox.t;
+  hmode : mode;
+  readers : [ `Cab | `Host ];
+  opcode : int;
+  pending_end_put : Message.t Queue.t; (* messages handed to the CAB side *)
+  rpc_msgs : (int, Message.t) Hashtbl.t;
+  mutable next_msg_id : int;
+}
+
+(* Each handle whose readers are CAB threads gets its own CAB-signal-queue
+   opcode: posting it makes the CAB perform the end_put (and so the wakeup
+   or upcall) at interrupt level — the host cannot wake a CAB thread by
+   memory writes alone. *)
+let next_opcode = ref 100
+
+let attach drv mbox ~mode ~readers =
+  let opcode = !next_opcode in
+  incr next_opcode;
+  let h =
+    {
+      drv;
+      mbox;
+      hmode = mode;
+      readers;
+      opcode;
+      pending_end_put = Queue.create ();
+      rpc_msgs = Hashtbl.create 8;
+      next_msg_id = 1;
+    }
+  in
+  Runtime.register_opcode (Cab_driver.runtime drv) ~opcode (fun cctx ~param ->
+      ignore param;
+      match Queue.take_opt h.pending_end_put with
+      | Some msg -> Mailbox.end_put cctx h.mbox msg
+      | None -> ());
+  h
+
+let mode_of h = h.hmode
+
+let pio (ctx : Ctx.t) h bytes = Cab_driver.ctx_pio ctx h.drv ~bytes
+
+(* Control-structure touches for one mailbox operation: a handful of
+   words of the mailbox descriptor. *)
+let bookkeeping_bytes = 16
+
+(* ---------- Rpc plumbing ---------- *)
+
+let rpc_stash h msg =
+  let id = h.next_msg_id in
+  h.next_msg_id <- id + 1;
+  Hashtbl.replace h.rpc_msgs id msg;
+  id
+
+let rpc_take h id =
+  match Hashtbl.find_opt h.rpc_msgs id with
+  | Some msg ->
+      Hashtbl.remove h.rpc_msgs id;
+      msg
+  | None -> invalid_arg "Hostlib: unknown rpc message id"
+
+(* ---------- begin_put ---------- *)
+
+let rec begin_put ctx h n =
+  match h.hmode with
+  | Shared_memory ->
+      pio ctx h bookkeeping_bytes;
+      Mailbox.begin_put ctx h.mbox n
+  | Rpc -> (
+      let r =
+        Cab_driver.rpc ctx h.drv (fun cctx ->
+            match Mailbox.try_begin_put cctx h.mbox n with
+            | Some msg -> rpc_stash h msg
+            | None -> -1)
+      in
+      if r >= 0 then rpc_take h r
+      else begin
+        (* no space: retry after a short delay *)
+        Engine.sleep ctx.Ctx.eng (Sim_time.us 50);
+        begin_put ctx h n
+      end)
+
+let write_string (ctx : Ctx.t) h msg ~pos s =
+  pio ctx h (String.length s);
+  Message.write_string msg pos s
+
+let end_put ctx h msg =
+  match h.hmode with
+  | Shared_memory -> (
+      pio ctx h (bookkeeping_bytes / 2);
+      match h.readers with
+      | `Host -> Mailbox.end_put ctx h.mbox msg
+      | `Cab ->
+          Queue.add msg h.pending_end_put;
+          Cab_driver.signal_cab ctx h.drv ~opcode:h.opcode ~param:0)
+  | Rpc ->
+      let id = rpc_stash h msg in
+      ignore
+        (Cab_driver.rpc ctx h.drv (fun cctx ->
+             Mailbox.end_put cctx h.mbox (rpc_take h id);
+             0))
+
+(* ---------- begin_get ---------- *)
+
+let rec begin_get ?(wait = `Poll) ctx h =
+  match h.hmode with
+  | Shared_memory -> (
+      pio ctx h bookkeeping_bytes;
+      match Mailbox.try_begin_get ctx h.mbox with
+      | Some msg -> msg
+      | None -> (
+          match wait with
+          | `Poll ->
+              (* the poll loop: the sim-level wait stands in for the spin,
+                 and the iterations around the wakeup are charged *)
+              Cab_driver.poll_iteration ctx h.drv;
+              let msg = Mailbox.begin_get ctx h.mbox in
+              Cab_driver.poll_iteration ctx h.drv;
+              msg
+          | `Block ->
+              Host.syscall ctx;
+              let msg = Mailbox.begin_get ctx h.mbox in
+              (* woken by the CAB's interrupt through the driver *)
+              Nectar_cab.Interrupts.post
+                (Host.irq (Cab_driver.host h.drv))
+                ~name:"mbox-wake"
+                (fun ictx ->
+                  Nectar_cab.Interrupts.work ictx Costs.signal_queue_op_ns);
+              Host.syscall ctx;
+              msg))
+  | Rpc -> (
+      let r =
+        Cab_driver.rpc ctx h.drv (fun cctx ->
+            match Mailbox.try_begin_get cctx h.mbox with
+            | Some msg -> rpc_stash h msg
+            | None -> -1)
+      in
+      if r >= 0 then rpc_take h r
+      else begin
+        Engine.sleep ctx.Ctx.eng (Sim_time.us 50);
+        begin_get ~wait ctx h
+      end)
+
+let read_string (ctx : Ctx.t) h msg =
+  pio ctx h (Message.length msg);
+  Message.to_string msg
+
+let end_get ctx h msg =
+  match h.hmode with
+  | Shared_memory ->
+      pio ctx h (bookkeeping_bytes / 2);
+      Mailbox.end_get ctx msg
+  | Rpc ->
+      let id = rpc_stash h msg in
+      ignore
+        (Cab_driver.rpc ctx h.drv (fun cctx ->
+             Mailbox.end_get cctx (rpc_take h id);
+             0))

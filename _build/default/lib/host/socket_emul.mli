@@ -1,0 +1,41 @@
+(** Berkeley-socket-style emulation over the offloaded TCP (paper §5.2).
+
+    "The familiar Berkeley socket interface is also being implemented at
+    this level.  Initially, an emulation library will be provided for
+    applications that can be re-linked."
+
+    This is that re-linked library: a procedural socket API for host
+    processes whose protocol processing happens on the CAB.  Control
+    operations (connect/listen/accept/close) go to a CAB-resident socket
+    server through a mailbox; data moves through the TCP send-request
+    mailbox and per-connection receive mailboxes in mapped CAB memory — no
+    system calls on the data path, which is precisely the offload win the
+    kernel-resident variant would give up. *)
+
+type t
+type socket
+
+exception Socket_error of string
+
+val create : Cab_driver.t -> Nectar_proto.Stack.t -> t
+(** One emulation instance per (host, CAB stack) pair. *)
+
+val socket : t -> socket
+
+val connect :
+  Nectar_core.Ctx.t -> socket -> addr:Nectar_proto.Ipv4.addr -> port:int ->
+  unit
+(** Active open; blocks until established.  Raises {!Socket_error} when the
+    peer refuses or times out. *)
+
+val listen : Nectar_core.Ctx.t -> socket -> port:int -> unit
+
+val accept : Nectar_core.Ctx.t -> socket -> socket
+(** Block until a connection arrives on the listening port. *)
+
+val send : Nectar_core.Ctx.t -> socket -> string -> unit
+
+val recv : Nectar_core.Ctx.t -> socket -> string
+(** Block for the next chunk of data; [""] signals end of stream. *)
+
+val close : Nectar_core.Ctx.t -> socket -> unit

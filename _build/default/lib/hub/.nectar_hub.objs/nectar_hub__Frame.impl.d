@@ -1,0 +1,1 @@
+lib/hub/frame.ml: Bytes Nectar_util

@@ -1,0 +1,1 @@
+lib/hub/frame.mli: Bytes

@@ -1,0 +1,1 @@
+lib/hub/network.ml: Array Byte_fifo Bytes Engine Frame List Nectar_sim Printf Queue Resource Stats

@@ -1,0 +1,1 @@
+lib/hub/network.mli: Frame Nectar_sim

@@ -1,0 +1,15 @@
+type t = { id : int; src : int; data : Bytes.t; wire_crc : int }
+
+let create ~id ~src ~data =
+  {
+    id;
+    src;
+    data;
+    wire_crc = Nectar_util.Crc32.digest data ~pos:0 ~len:(Bytes.length data);
+  }
+
+let length t = Bytes.length t.data
+
+let crc_ok t =
+  Nectar_util.Crc32.digest t.data ~pos:0 ~len:(Bytes.length t.data)
+  = t.wire_crc

@@ -1,0 +1,22 @@
+(** A Nectar fiber frame: the unit the HUB network transports between CABs.
+
+    [data] is the complete datalink frame (datalink header + payload) as real
+    bytes; the trailing CRC-32 that the CAB hardware appends on the wire is
+    modelled by [wire_crc], computed at creation.  Fault injection corrupts
+    [data] after creation, so the receiving CAB's hardware CRC check
+    ([crc_ok]) fails exactly like a real line error. *)
+
+type t = {
+  id : int;  (** unique per network, for tracing *)
+  src : int;  (** source node id *)
+  data : Bytes.t;
+  wire_crc : int;
+}
+
+val create : id:int -> src:int -> data:Bytes.t -> t
+(** Captures the CRC of [data] as it stands (the sender-side hardware CRC). *)
+
+val length : t -> int
+
+val crc_ok : t -> bool
+(** Receiver-side hardware CRC check: recompute over [data] and compare. *)

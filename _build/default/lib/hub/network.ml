@@ -1,0 +1,220 @@
+open Nectar_sim
+
+type node_id = int
+
+type sink = {
+  in_fifo : Byte_fifo.t;
+  on_frame_start : Frame.t -> unit;
+  on_chunk : Frame.t -> arrived:int -> last:bool -> unit;
+}
+
+type fault_verdict = [ `Deliver | `Drop | `Corrupt ]
+
+type port_peer = Free | To_node of node_id | To_hub of int * int
+
+type port = { out_res : Resource.t; mutable peer : port_peer }
+
+type hub = { controller : Resource.t; ports : port array }
+
+type node = { sink : sink; node_hub : int; node_port : int }
+
+type t = {
+  eng : Engine.t;
+  hubs : hub array;
+  mutable nodes : node array;
+  fiber_ns_per_byte : int;
+  hub_setup_ns : int;
+  hop_latency_ns : int;
+  chunk : int;
+  mutable fault : (Frame.t -> fault_verdict) option;
+  mutable frame_ids : int;
+  frames : Stats.Counter.t;
+  bytes : Stats.Counter.t;
+}
+
+let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
+    ?(hub_setup_ns = 700) ?(hop_latency_ns = 300) ?(chunk_bytes = 512) ~hubs
+    () =
+  if hubs < 1 then invalid_arg "Network.create: need at least one hub";
+  let make_hub h =
+    {
+      controller =
+        Resource.create eng ~name:(Printf.sprintf "hub%d.controller" h) ();
+      ports =
+        Array.init ports_per_hub (fun p ->
+            {
+              out_res =
+                Resource.create eng
+                  ~name:(Printf.sprintf "hub%d.port%d" h p)
+                  ();
+              peer = Free;
+            });
+    }
+  in
+  {
+    eng;
+    hubs = Array.init hubs make_hub;
+    nodes = [||];
+    fiber_ns_per_byte;
+    hub_setup_ns;
+    hop_latency_ns;
+    chunk = chunk_bytes;
+    fault = None;
+    frame_ids = 0;
+    frames = Stats.Counter.create ();
+    bytes = Stats.Counter.create ();
+  }
+
+let engine t = t.eng
+let chunk_bytes t = t.chunk
+
+let port t hub p =
+  if hub < 0 || hub >= Array.length t.hubs then
+    invalid_arg "Network: bad hub index";
+  let h = t.hubs.(hub) in
+  if p < 0 || p >= Array.length h.ports then
+    invalid_arg "Network: bad port index";
+  h.ports.(p)
+
+let connect_hubs t (ha, pa) (hb, pb) =
+  let a = port t ha pa and b = port t hb pb in
+  (match (a.peer, b.peer) with
+  | Free, Free -> ()
+  | _ -> invalid_arg "Network.connect_hubs: port already in use");
+  a.peer <- To_hub (hb, pb);
+  b.peer <- To_hub (ha, pa)
+
+let attach_node t ~hub ~port:p sink =
+  let port = port t hub p in
+  if port.peer <> Free then invalid_arg "Network.attach_node: port in use";
+  let id = Array.length t.nodes in
+  port.peer <- To_node id;
+  t.nodes <- Array.append t.nodes [| { sink; node_hub = hub; node_port = p } |];
+  id
+
+let node_count t = Array.length t.nodes
+
+let node t id =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg "Network: bad node id";
+  t.nodes.(id)
+
+(* BFS over hubs to build a source route: the per-HUB output-port list the
+   real system keeps in its route database. *)
+let route t ~src ~dst =
+  let src_hub = (node t src).node_hub in
+  let dst_node = node t dst in
+  if src = dst then invalid_arg "Network.route: src = dst";
+  let visited = Array.make (Array.length t.hubs) false in
+  let prev = Array.make (Array.length t.hubs) None in
+  let q = Queue.create () in
+  Queue.add src_hub q;
+  visited.(src_hub) <- true;
+  while not (Queue.is_empty q) do
+    let h = Queue.take q in
+    Array.iteri
+      (fun pi p ->
+        match p.peer with
+        | To_hub (h2, _) when not visited.(h2) ->
+            visited.(h2) <- true;
+            prev.(h2) <- Some (h, pi);
+            Queue.add h2 q
+        | To_hub _ | To_node _ | Free -> ())
+      t.hubs.(h).ports
+  done;
+  if not visited.(dst_node.node_hub) then raise Not_found;
+  let rec unwind h acc =
+    if h = src_hub then acc
+    else
+      match prev.(h) with
+      | Some (ph, pport) -> unwind ph (pport :: acc)
+      | None -> raise Not_found
+  in
+  unwind dst_node.node_hub [] @ [ dst_node.node_port ]
+
+let resolve t ~src route_ports =
+  let rec walk hub_idx ports acc =
+    match ports with
+    | [] -> invalid_arg "Network.transmit: empty route"
+    | pi :: rest -> (
+        let p = port t hub_idx pi in
+        match p.peer with
+        | Free -> invalid_arg "Network.transmit: route into unconnected port"
+        | To_node n ->
+            if rest <> [] then
+              invalid_arg "Network.transmit: route continues past a node";
+            (List.rev ((hub_idx, p) :: acc), n)
+        | To_hub (h2, _) -> walk h2 rest ((hub_idx, p) :: acc))
+  in
+  walk (node t src).node_hub route_ports []
+
+let corrupt_frame (frame : Frame.t) =
+  let len = Bytes.length frame.data in
+  if len > 0 then begin
+    let i = len / 2 in
+    Bytes.set_uint8 frame.data i (Bytes.get_uint8 frame.data i lxor 0x08)
+  end
+
+(* Chunk plan: a small first chunk so the start-of-packet event fires as soon
+   as the datalink header is in, a small second chunk covering typical
+   protocol headers, then full chunks. *)
+let chunk_plan t ~header_bytes total =
+  let rec plan off acc =
+    if off >= total then List.rev acc
+    else
+      let n =
+        if off = 0 then min header_bytes total
+        else if off = header_bytes then min 64 (total - off)
+        else min t.chunk (total - off)
+      in
+      plan (off + n) (n :: acc)
+  in
+  plan 0 []
+
+let transmit ?(header_bytes = 32) t ~src ~route:route_ports frame =
+  let verdict =
+    match t.fault with None -> `Deliver | Some f -> f frame
+  in
+  if verdict = `Corrupt then corrupt_frame frame;
+  let hops, dst = resolve t ~src route_ports in
+  let dst_sink = (node t dst).sink in
+  (* Connection setup: one controller command per HUB, then hold the output
+     port for the duration of the transfer (circuit). *)
+  List.iter
+    (fun (h, p) ->
+      Resource.with_held t.hubs.(h).controller (fun () ->
+          Engine.sleep t.eng t.hub_setup_ns);
+      Resource.acquire p.out_res)
+    hops;
+  Engine.sleep t.eng (t.hop_latency_ns * List.length hops);
+  let total = Frame.length frame in
+  let header_bytes = min header_bytes total in
+  (match verdict with
+  | `Drop ->
+      (* The frame crosses the wire but is never delivered (e.g. lost at the
+         far side); wire time still passes. *)
+      Engine.sleep t.eng (total * t.fiber_ns_per_byte)
+  | `Deliver | `Corrupt ->
+      let arrived = ref 0 in
+      List.iter
+        (fun n ->
+          Engine.sleep t.eng (n * t.fiber_ns_per_byte);
+          Byte_fifo.push dst_sink.in_fifo n;
+          let first = !arrived = 0 in
+          arrived := !arrived + n;
+          if first then dst_sink.on_frame_start frame;
+          dst_sink.on_chunk frame ~arrived:!arrived ~last:(!arrived = total))
+        (chunk_plan t ~header_bytes total));
+  List.iter (fun (_, p) -> Resource.release p.out_res) (List.rev hops);
+  Stats.Counter.incr t.frames;
+  Stats.Counter.add t.bytes total
+
+let set_fault_hook t hook = t.fault <- hook
+
+let next_frame_id t =
+  let id = t.frame_ids in
+  t.frame_ids <- id + 1;
+  id
+
+let frames_sent t = Stats.Counter.value t.frames
+let bytes_sent t = Stats.Counter.value t.bytes

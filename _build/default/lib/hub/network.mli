@@ -1,0 +1,79 @@
+(** The Nectar network fabric: fiber links and HUB crossbar switches
+    (paper §2.1).
+
+    A network is built from HUBs (16x16 crossbars with a controller) and
+    nodes (CABs) attached to HUB ports; HUB-to-HUB links join ports of two
+    HUBs.  CABs address each other with *source routes* — the list of output
+    ports to take at each HUB along the path — exactly as in the paper; the
+    route database a real deployment configures by hand is computed here with
+    a BFS over the topology.
+
+    Transfer model: cut-through circuit switching.  [transmit] (called from
+    the sending CAB's fiber-output process) issues a controller command per
+    hop (700 ns each), holds every output port along the path, then streams
+    the frame in chunks at fiber rate (100 Mbit/s) directly into the
+    destination node's input FIFO.  A full destination FIFO blocks the
+    stream — the HUB's low-level flow control — and, transitively, any
+    traffic contending for the held ports. *)
+
+type t
+
+type node_id = int
+
+(** What a CAB registers so the fabric can deliver to it.  [on_frame_start]
+    fires after the frame's first chunk has been pushed into [in_fifo]
+    (the hardware's start-of-packet event); [on_chunk] after every chunk,
+    with cumulative [arrived] bytes.  Both are called outside any process
+    and must not block. *)
+type sink = {
+  in_fifo : Nectar_sim.Byte_fifo.t;
+  on_frame_start : Frame.t -> unit;
+  on_chunk : Frame.t -> arrived:int -> last:bool -> unit;
+}
+
+type fault_verdict = [ `Deliver | `Drop | `Corrupt ]
+
+val create :
+  Nectar_sim.Engine.t ->
+  ?ports_per_hub:int ->
+  ?fiber_ns_per_byte:int ->
+  ?hub_setup_ns:int ->
+  ?hop_latency_ns:int ->
+  ?chunk_bytes:int ->
+  hubs:int ->
+  unit ->
+  t
+
+val engine : t -> Nectar_sim.Engine.t
+val chunk_bytes : t -> int
+
+val connect_hubs : t -> int * int -> int * int -> unit
+(** [connect_hubs t (hub_a, port_a) (hub_b, port_b)] joins two HUBs with a
+    bidirectional fiber pair. *)
+
+val attach_node : t -> hub:int -> port:int -> sink -> node_id
+(** Attach a CAB to a HUB port; returns its node id (dense, from 0). *)
+
+val node_count : t -> int
+
+val route : t -> src:node_id -> dst:node_id -> int list
+(** Shortest source route (one output-port index per HUB traversed).
+    Raises [Not_found] if unreachable. *)
+
+val transmit :
+  ?header_bytes:int -> t -> src:node_id -> route:int list -> Frame.t -> unit
+(** Stream a frame along [route].  Blocks the calling process for connection
+    setup, serialization, port contention and destination-FIFO backpressure;
+    returns once the last byte has entered the destination FIFO.  Dropped
+    frames (fault injection) still consume wire time.  [header_bytes]
+    (default 32) sizes the first chunk so the receiver's start-of-packet
+    event fires as soon as the headers are in. *)
+
+val set_fault_hook : t -> (Frame.t -> fault_verdict) option -> unit
+(** Fault injection for loss/corruption tests.  [`Corrupt] flips a bit in
+    the frame payload so the receiver's hardware CRC check fails. *)
+
+val next_frame_id : t -> int
+
+val frames_sent : t -> int
+val bytes_sent : t -> int

@@ -1,0 +1,1 @@
+lib/nectarine/nectarine.ml: Cab_driver Ctx Dgram Host Hostlib Mailbox Message Nectar_cab Nectar_core Nectar_host Nectar_proto Nectar_sim Presentation Printf Reqresp Rmp Runtime Stack String Thread

@@ -1,0 +1,1 @@
+lib/nectarine/nectarine.mli: Nectar_core Nectar_host Nectar_proto Presentation

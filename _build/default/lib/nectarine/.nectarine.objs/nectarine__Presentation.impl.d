@@ -1,0 +1,1 @@
+lib/nectarine/presentation.ml: Buffer Char Ctx Format List Nectar_cab Nectar_core String

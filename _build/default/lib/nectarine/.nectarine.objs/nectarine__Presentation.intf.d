@@ -1,0 +1,1 @@
+lib/nectarine/presentation.mli: Format Nectar_core

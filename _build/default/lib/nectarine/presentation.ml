@@ -1,0 +1,135 @@
+open Nectar_core
+
+type value =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | List of value list
+  | Pair of value * value
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | List x, List y -> ( try List.for_all2 equal x y with Invalid_argument _ -> false)
+  | Pair (x1, x2), Pair (y1, y2) -> equal x1 y1 && equal x2 y2
+  | (Int _ | Str _ | Bool _ | List _ | Pair _), _ -> false
+
+let rec pp fmt = function
+  | Int n -> Format.fprintf fmt "%d" n
+  | Str s -> Format.fprintf fmt "%S" s
+  | Bool b -> Format.fprintf fmt "%b" b
+  | List vs ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") pp)
+        vs
+  | Pair (a, b) -> Format.fprintf fmt "(%a, %a)" pp a pp b
+
+(* tags *)
+let tag_int = 0
+let tag_str = 1
+let tag_bool = 2
+let tag_list = 3
+let tag_pair = 4
+
+let pad4 n = (n + 3) land lnot 3
+
+let rec encoded_size = function
+  | Int _ -> 4 + 8
+  | Str s -> 4 + 4 + pad4 (String.length s)
+  | Bool _ -> 4 + 4
+  | List vs -> 4 + 4 + List.fold_left (fun a v -> a + encoded_size v) 0 vs
+  | Pair (a, b) -> 4 + encoded_size a + encoded_size b
+
+let marshal_cycles_per_byte = 8
+
+let charge (ctx : Ctx.t) bytes =
+  ctx.work (Nectar_cab.Costs.cab_cycles (marshal_cycles_per_byte * bytes))
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let encode ctx value =
+  let buf = Buffer.create (encoded_size value) in
+  let rec emit = function
+    | Int n ->
+        put_u32 buf tag_int;
+        put_u32 buf ((n asr 32) land 0xffffffff);
+        put_u32 buf (n land 0xffffffff)
+    | Str s ->
+        put_u32 buf tag_str;
+        put_u32 buf (String.length s);
+        Buffer.add_string buf s;
+        for _ = 1 to pad4 (String.length s) - String.length s do
+          Buffer.add_char buf '\000'
+        done
+    | Bool b ->
+        put_u32 buf tag_bool;
+        put_u32 buf (if b then 1 else 0)
+    | List vs ->
+        put_u32 buf tag_list;
+        put_u32 buf (List.length vs);
+        List.iter emit vs
+    | Pair (a, b) ->
+        put_u32 buf tag_pair;
+        emit a;
+        emit b
+  in
+  emit value;
+  charge ctx (Buffer.length buf);
+  Buffer.contents buf
+
+let decode ctx s =
+  let pos = ref 0 in
+  let u32 () =
+    if !pos + 4 > String.length s then
+      invalid_arg "Presentation.decode: truncated";
+    let v =
+      (Char.code s.[!pos] lsl 24)
+      lor (Char.code s.[!pos + 1] lsl 16)
+      lor (Char.code s.[!pos + 2] lsl 8)
+      lor Char.code s.[!pos + 3]
+    in
+    pos := !pos + 4;
+    v
+  in
+  let rec parse () =
+    let tag = u32 () in
+    if tag = tag_int then begin
+      let hi = u32 () in
+      let lo = u32 () in
+      (* [hi lsl 32] wraps modulo OCaml's 63-bit int exactly as the
+         encoder's [asr]/[land] split expects: the reassembly is the
+         original value *)
+      Int ((hi lsl 32) lor lo)
+    end
+    else if tag = tag_str then begin
+      let len = u32 () in
+      if !pos + pad4 len > String.length s then
+        invalid_arg "Presentation.decode: truncated string";
+      let v = String.sub s !pos len in
+      pos := !pos + pad4 len;
+      Str v
+    end
+    else if tag = tag_bool then Bool (u32 () <> 0)
+    else if tag = tag_list then begin
+      let n = u32 () in
+      if n < 0 || n > String.length s then
+        invalid_arg "Presentation.decode: bad list length";
+      List (List.init n (fun _ -> parse ()))
+    end
+    else if tag = tag_pair then
+      let a = parse () in
+      let b = parse () in
+      Pair (a, b)
+    else invalid_arg "Presentation.decode: unknown tag"
+  in
+  let v = parse () in
+  if !pos <> String.length s then
+    invalid_arg "Presentation.decode: trailing bytes";
+  charge ctx !pos;
+  v

@@ -1,0 +1,36 @@
+(** Presentation-layer marshaling, offloadable to the CAB.
+
+    Paper §5.3: "Research is under way to use the CAB to offload
+    presentation layer functionality, such as the marshaling and
+    unmarshaling of data required by remote procedure call systems" —
+    citing Siegel & Cooper's OSI-presentation work.  This module implements
+    that future-work item: an XDR-style self-describing encoding whose
+    encode/decode cost is charged to whatever context runs it, so the same
+    marshaling can execute on a host (at host per-byte cost) or on the CAB
+    (at SPARC cycle cost) — measured in the ablations bench.
+
+    The encoding is big-endian and 4-byte aligned, XDR-fashion:
+    ints are 8 bytes, strings/bytes carry a length word and pad to 4. *)
+
+type value =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | List of value list
+  | Pair of value * value
+
+val equal : value -> value -> bool
+val pp : Format.formatter -> value -> unit
+
+val encoded_size : value -> int
+
+val encode : Nectar_core.Ctx.t -> value -> string
+(** Marshal, charging the context per byte produced. *)
+
+val decode : Nectar_core.Ctx.t -> string -> value
+(** Unmarshal, charging the context per byte consumed.
+    Raises [Invalid_argument] on malformed input. *)
+
+val marshal_cycles_per_byte : int
+(** CPU cycles charged per byte on the CAB (host contexts pay their own
+    per-byte touch cost scaled by the same factor). *)

@@ -1,0 +1,1 @@
+lib/proto/datalink.ml: Cab Costs Ctx Hashtbl Mailbox Message Nectar_cab Nectar_core Nectar_hub Printf Runtime Rx Wire

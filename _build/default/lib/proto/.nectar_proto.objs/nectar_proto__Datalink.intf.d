@@ -1,0 +1,1 @@
+lib/proto/datalink.mli: Nectar_core

@@ -1,0 +1,1 @@
+lib/proto/dgram.ml: Ctx Datalink Mailbox Message Nectar_cab Nectar_core Runtime String Wire

@@ -1,0 +1,1 @@
+lib/proto/dgram.mli: Datalink Nectar_core

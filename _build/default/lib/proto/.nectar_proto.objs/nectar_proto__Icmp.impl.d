@@ -1,0 +1,1 @@
+lib/proto/icmp.ml: Ctx Datalink Engine Hashtbl Inet_checksum Ipv4 Mailbox Message Nectar_cab Nectar_core Nectar_sim Nectar_util Runtime Sim_time Waitq

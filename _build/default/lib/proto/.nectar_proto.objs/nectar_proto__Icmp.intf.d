@@ -1,0 +1,1 @@
+lib/proto/icmp.mli: Ipv4 Nectar_core Nectar_sim

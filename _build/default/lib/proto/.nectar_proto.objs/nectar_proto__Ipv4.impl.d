@@ -1,0 +1,1 @@
+lib/proto/ipv4.ml: Byte_view Ctx Datalink Engine Hashtbl Inet_checksum List Mailbox Message Nectar_cab Nectar_core Nectar_sim Nectar_util Option Printf Runtime Sim_time Wire

@@ -1,0 +1,1 @@
+lib/proto/ipv4.mli: Bytes Datalink Nectar_core

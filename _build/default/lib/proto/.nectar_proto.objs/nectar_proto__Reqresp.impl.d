@@ -1,0 +1,1 @@
+lib/proto/reqresp.ml: Ctx Datalink Hashtbl Mailbox Message Nectar_cab Nectar_core Nectar_sim Queue Runtime Sim_time String Thread Waitq Wire

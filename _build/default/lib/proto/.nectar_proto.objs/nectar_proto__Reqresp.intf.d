@@ -1,0 +1,1 @@
+lib/proto/reqresp.mli: Datalink Nectar_core Nectar_sim

@@ -1,0 +1,1 @@
+lib/proto/rmp.ml: Ctx Datalink Hashtbl Mailbox Message Nectar_cab Nectar_core Nectar_sim Option Printf Resource Runtime Sim_time String Waitq Wire

@@ -1,0 +1,1 @@
+lib/proto/rmp.mli: Datalink Nectar_core Nectar_sim

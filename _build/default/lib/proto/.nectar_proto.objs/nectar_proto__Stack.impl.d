@@ -1,0 +1,1 @@
+lib/proto/stack.ml: Datalink Dgram Icmp Ipv4 Nectar_core Reqresp Rmp Tcp Udp

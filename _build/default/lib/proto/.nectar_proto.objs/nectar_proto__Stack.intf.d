@@ -1,0 +1,1 @@
+lib/proto/stack.mli: Datalink Dgram Icmp Ipv4 Nectar_core Nectar_sim Reqresp Rmp Tcp Udp

@@ -1,0 +1,1 @@
+lib/proto/tcp.ml: Bytes Ctx Datalink Engine Float Hashtbl Int Ipv4 List Lock Mailbox Message Nectar_cab Nectar_core Nectar_sim Printf Runtime Sim_time String Tcp_seq Thread Wire

@@ -1,0 +1,1 @@
+lib/proto/tcp.mli: Ipv4 Nectar_core

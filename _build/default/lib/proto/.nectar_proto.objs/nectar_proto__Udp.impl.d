@@ -1,0 +1,1 @@
+lib/proto/udp.ml: Ctx Datalink Hashtbl Icmp Ipv4 Mailbox Message Nectar_cab Nectar_core Runtime String Thread Wire

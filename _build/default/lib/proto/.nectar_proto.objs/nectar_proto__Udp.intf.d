@@ -1,0 +1,1 @@
+lib/proto/udp.mli: Icmp Ipv4 Nectar_core

@@ -1,0 +1,1 @@
+lib/proto/wire.ml: Byte_view Nectar_util

@@ -1,0 +1,66 @@
+(** The CAB datalink layer (paper §4.1).
+
+    Receive: the start-of-packet interrupt handler reads the datalink
+    header, finds the protocol binding, allocates space in the protocol's
+    input mailbox (non-blocking: no space means the frame is dropped, like
+    any link layer), and programs receive DMA.  The binding's
+    [start_of_data] upcall fires once the protocol header has arrived —
+    "so that useful work can be done while the remainder of the packet is
+    being received" — and [end_of_data] fires, at interrupt level, with the
+    complete message (datalink header stripped, state [Writing]): the
+    protocol decides whether to [end_put] it, [enqueue] it elsewhere, or
+    drop it.  Frames failing the hardware CRC are freed and counted.
+
+    Transmit: [output] prepends the datalink header into the message's
+    reserved headroom and hands the frame to the CAB transmit DMA; the
+    caller's [on_done] runs at interrupt level when the buffer is free
+    (the paper's "free the data area once sent" flag is [on_done =
+    dispose]). *)
+
+type t
+
+type binding = {
+  input_mailbox : Nectar_core.Mailbox.t;
+  proto_header_len : int;
+  start_of_data : (Nectar_core.Ctx.t -> unit) option;
+  end_of_data :
+    Nectar_core.Ctx.t -> Nectar_core.Message.t -> src_cab:int -> unit;
+}
+
+val create : Nectar_core.Runtime.t -> t
+
+val runtime : t -> Nectar_core.Runtime.t
+
+val register : t -> proto:int -> binding -> unit
+
+val alloc_frame :
+  Nectar_core.Ctx.t -> t -> int -> Nectar_core.Message.t option
+(** Allocate a transmit buffer with datalink headroom already reserved: the
+    returned message (if the transmit pool has space) has length [n] and its
+    data start positioned at the transport layer's first header byte. *)
+
+exception No_buffer
+
+val alloc_frame_blocking : Nectar_core.Ctx.t -> t -> int -> Nectar_core.Message.t
+(** Like {!alloc_frame} but blocks until transmit-pool space is available.
+    From a non-blocking context (interrupt level) it cannot wait: it raises
+    {!No_buffer} when the pool is momentarily full, which callers treat as a
+    droppable-frame condition (retransmission recovers). *)
+
+val output :
+  Nectar_core.Ctx.t ->
+  t ->
+  dst_cab:int ->
+  proto:int ->
+  msg:Nectar_core.Message.t ->
+  on_done:(Nectar_core.Ctx.t -> Nectar_core.Message.t -> unit) ->
+  unit
+(** Send a message (allocated with headroom, e.g. by [alloc_frame]) to a
+    remote CAB.  Loopback to the local CAB is not supported: Nectar CABs
+    talk to themselves through local mailboxes, never the fabric. *)
+
+val drops_no_buffer : t -> int
+val drops_bad_proto : t -> int
+val drops_crc : t -> int
+val frames_in : t -> int
+val frames_out : t -> int

@@ -1,0 +1,39 @@
+(** The Nectar-specific datagram protocol (paper §4): unreliable,
+    connectionless delivery straight into a remote mailbox.
+
+    This is the fastest Nectar path — one frame, no acknowledgements, all
+    input processing at interrupt level — and the protocol behind the
+    paper's headline 325 us host-to-host round trip (Table 1, Figure 6).
+
+    Addressing is the network-wide mailbox address: (CAB node id, port).
+    Delivery looks up the port in the destination CAB's runtime registry
+    and enqueues the payload (headers stripped, zero copy) into that
+    mailbox. *)
+
+type t
+
+val header_bytes : int
+
+val create : Datalink.t -> t
+
+val alloc : Nectar_core.Ctx.t -> t -> int -> Nectar_core.Message.t
+(** Allocate a send buffer for an [n]-byte payload (headroom reserved);
+    blocks until transmit-pool space is available. *)
+
+val send :
+  Nectar_core.Ctx.t ->
+  t ->
+  dst_cab:int ->
+  dst_port:int ->
+  ?src_port:int ->
+  Nectar_core.Message.t ->
+  unit
+(** Fire-and-forget: queues the frame and returns; the buffer is freed by
+    the transmit-done interrupt.  The message must have been allocated with
+    [alloc] and its current data is the payload. *)
+
+val send_string :
+  Nectar_core.Ctx.t -> t -> dst_cab:int -> dst_port:int -> string -> unit
+
+val delivered : t -> int
+val dropped_no_port : t -> int

@@ -1,0 +1,48 @@
+(** The Nectar-specific request-response protocol (paper §4): "the
+    transport mechanism for client-server RPC calls".
+
+    A client transaction sends a request frame and blocks for the matching
+    response, retransmitting on timeout; servers are registered per port
+    and may run either as a dedicated system thread or as a mailbox
+    *upcall* in the interrupt context — the two server structures whose
+    trade-off §3.3 discusses (measured in the ablation bench).
+
+    At-most-once execution: the server caches the last response per
+    (client, transaction) and replays it for duplicate requests. *)
+
+type t
+
+val header_bytes : int
+
+exception Call_timeout of { dst_cab : int; dst_port : int }
+
+val create :
+  Datalink.t -> ?rto:Nectar_sim.Sim_time.span -> ?max_retries:int -> unit -> t
+
+val call :
+  Nectar_core.Ctx.t ->
+  t ->
+  dst_cab:int ->
+  dst_port:int ->
+  string ->
+  string
+(** Blocking remote call: send the request payload, return the response
+    payload.  Raises {!Call_timeout} after the retry budget. *)
+
+type server_mode = Thread_server | Upcall_server
+
+val register_server :
+  t ->
+  port:int ->
+  mode:server_mode ->
+  (Nectar_core.Ctx.t -> string -> string) ->
+  unit
+(** Serve [port]: the handler maps request payloads to response payloads.
+    [Thread_server] runs it in a dedicated system thread (a context switch
+    per call); [Upcall_server] runs it inside the request's interrupt-level
+    upcall (the §3.3 "local procedure call" optimisation — the handler must
+    not block). *)
+
+val calls_completed : t -> int
+val requests_served : t -> int
+val duplicate_requests : t -> int

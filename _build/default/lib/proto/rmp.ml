@@ -1,0 +1,183 @@
+open Nectar_core
+open Nectar_sim
+module Costs = Nectar_cab.Costs
+
+let header_bytes = 12
+
+let ty_data = 0
+let ty_ack = 1
+
+exception Delivery_timeout of { dst_cab : int; dst_port : int }
+
+type channel = {
+  busy : Resource.t; (* serialises senders: one outstanding message *)
+  mutable next_seq : int;
+  mutable acked : int; (* highest acknowledged seq *)
+  ack_q : Waitq.t;
+}
+
+type t = {
+  dl : Datalink.t;
+  rt : Runtime.t;
+  input : Mailbox.t;
+  rto : Sim_time.span;
+  max_retries : int;
+  channels : (int * int, channel) Hashtbl.t; (* (dst_cab, dst_port) *)
+  expected : (int * int, int) Hashtbl.t; (* (src_cab, dst_port) -> next seq *)
+  mutable delivered_count : int;
+  mutable dup_count : int;
+  mutable retx_count : int;
+}
+
+(* Header: type u8 | flags u8 | dst_port u16 | src_port u16 | pad u16 |
+   seq u32 *)
+
+let write_header (msg : Message.t) ~ty ~dst_port ~seq =
+  Message.set_u8 msg 0 ty;
+  Message.set_u8 msg 1 0;
+  Message.set_u16 msg 2 dst_port;
+  Message.set_u16 msg 4 0;
+  Message.set_u16 msg 6 0;
+  Message.set_u32 msg 8 seq
+
+let channel t ~dst_cab ~dst_port =
+  let key = (dst_cab, dst_port) in
+  match Hashtbl.find_opt t.channels key with
+  | Some c -> c
+  | None ->
+      let eng = Runtime.engine t.rt in
+      let c =
+        {
+          busy =
+            Resource.create eng
+              ~name:(Printf.sprintf "rmp-ch-%d-%d" dst_cab dst_port)
+              ();
+          next_seq = 1;
+          acked = 0;
+          ack_q = Waitq.create eng ~name:"rmp-ack" ();
+        }
+      in
+      Hashtbl.replace t.channels key c;
+      c
+
+let send_ack t ctx ~dst_cab ~dst_port ~seq =
+  match Datalink.alloc_frame ctx t.dl header_bytes with
+  | None -> () (* no transmit space: the sender will retransmit *)
+  | Some ack ->
+      write_header ack ~ty:ty_ack ~dst_port ~seq;
+      Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_rmp ~msg:ack
+        ~on_done:Mailbox.dispose
+
+(* Interrupt-level input processing for both DATA and ACK frames. *)
+let end_of_data t ctx (msg : Message.t) ~src_cab =
+  ctx.Ctx.work Costs.rmp_ns;
+  if Message.length msg < header_bytes then Mailbox.dispose ctx msg
+  else begin
+    let ty = Message.get_u8 msg 0 in
+    let dst_port = Message.get_u16 msg 2 in
+    let seq = Message.get_u32 msg 8 in
+    if ty = ty_ack then begin
+      let c = channel t ~dst_cab:src_cab ~dst_port in
+      if seq > c.acked then begin
+        c.acked <- seq;
+        ignore (Waitq.broadcast c.ack_q)
+      end;
+      Mailbox.dispose ctx msg
+    end
+    else begin
+      let key = (src_cab, dst_port) in
+      let expected =
+        Option.value (Hashtbl.find_opt t.expected key) ~default:1
+      in
+      if seq < expected then begin
+        (* duplicate from a retransmission: re-ack, drop *)
+        t.dup_count <- t.dup_count + 1;
+        send_ack t ctx ~dst_cab:src_cab ~dst_port ~seq;
+        Mailbox.dispose ctx msg
+      end
+      else begin
+        Hashtbl.replace t.expected key (seq + 1);
+        send_ack t ctx ~dst_cab:src_cab ~dst_port ~seq;
+        Message.adjust_head msg header_bytes;
+        match Runtime.mailbox_at t.rt ~port:dst_port with
+        | Some mbox ->
+            t.delivered_count <- t.delivered_count + 1;
+            Mailbox.enqueue ctx msg mbox
+        | None -> Mailbox.dispose ctx msg
+      end
+    end
+  end
+
+let create dl ?(rto = Sim_time.ms 5) ?(max_retries = 8) () =
+  let rt = Datalink.runtime dl in
+  let input =
+    Runtime.create_mailbox rt ~name:"rmp-input" ~byte_limit:(128 * 1024)
+      ~cached_buffer_bytes:0 ()
+  in
+  let t =
+    {
+      dl;
+      rt;
+      input;
+      rto;
+      max_retries;
+      channels = Hashtbl.create 8;
+      expected = Hashtbl.create 8;
+      delivered_count = 0;
+      dup_count = 0;
+      retx_count = 0;
+    }
+  in
+  Datalink.register dl ~proto:Wire.proto_rmp
+    {
+      Datalink.input_mailbox = input;
+      proto_header_len = header_bytes;
+      start_of_data = None;
+      end_of_data = (fun ctx msg ~src_cab -> end_of_data t ctx msg ~src_cab);
+    };
+  t
+
+let alloc ctx t n =
+  let msg = Datalink.alloc_frame_blocking ctx t.dl (header_bytes + n) in
+  Message.adjust_head msg header_bytes;
+  msg
+
+let send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
+  Ctx.assert_may_block ctx "Rmp.send";
+  let c = channel t ~dst_cab ~dst_port in
+  Resource.with_held c.busy (fun () ->
+      ctx.work Costs.rmp_ns;
+      let seq = c.next_seq in
+      c.next_seq <- seq + 1;
+      Message.push_head msg header_bytes;
+      write_header msg ~ty:ty_data ~dst_port ~seq;
+      let rec attempt tries =
+        if tries > t.max_retries then begin
+          Mailbox.dispose ctx msg;
+          raise (Delivery_timeout { dst_cab; dst_port })
+        end;
+        (* [Datalink.output] restores the message to this view after queueing
+           the frame, so a retransmission simply sends the same message. *)
+        if tries > 0 then t.retx_count <- t.retx_count + 1;
+        Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_rmp ~msg
+          ~on_done:(fun _ _ -> ());
+        let rec await () =
+          if c.acked >= seq then ()
+          else
+            match Waitq.wait_timeout c.ack_q t.rto with
+            | `Signaled -> await ()
+            | `Timeout -> attempt (tries + 1)
+        in
+        await ()
+      in
+      attempt 0;
+      Mailbox.dispose ctx msg)
+
+let send_string ctx t ~dst_cab ~dst_port s =
+  let msg = alloc ctx t (String.length s) in
+  Message.write_string msg 0 s;
+  send ctx t ~dst_cab ~dst_port msg
+
+let delivered t = t.delivered_count
+let duplicates t = t.dup_count
+let retransmits t = t.retx_count

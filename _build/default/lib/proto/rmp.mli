@@ -1,0 +1,40 @@
+(** RMP: the Nectar-specific reliable message protocol (paper §4, §6.2) —
+    "a simple stop-and-wait protocol".
+
+    One message is outstanding per channel (a (destination CAB, port)
+    pair); the sender blocks until the receiver's acknowledgement, with
+    timeout-driven retransmission.  No software checksum is computed —
+    reliability rides on the hardware CRC (that is the Figure 7 point:
+    RMP reaches ~90 Mbit/s where checksumming TCP cannot).
+
+    Delivery semantics: exactly-once, in order, per channel; duplicate
+    frames from retransmissions are acknowledged but not re-delivered. *)
+
+type t
+
+val header_bytes : int
+
+exception Delivery_timeout of { dst_cab : int; dst_port : int }
+
+val create :
+  Datalink.t -> ?rto:Nectar_sim.Sim_time.span -> ?max_retries:int -> unit -> t
+
+val alloc : Nectar_core.Ctx.t -> t -> int -> Nectar_core.Message.t
+
+val send :
+  Nectar_core.Ctx.t ->
+  t ->
+  dst_cab:int ->
+  dst_port:int ->
+  Nectar_core.Message.t ->
+  unit
+(** Reliable blocking send: returns once the message is acknowledged (the
+    buffer is then freed), raises {!Delivery_timeout} after the retry
+    budget.  Concurrent senders on one channel are serialised FIFO. *)
+
+val send_string :
+  Nectar_core.Ctx.t -> t -> dst_cab:int -> dst_port:int -> string -> unit
+
+val delivered : t -> int
+val duplicates : t -> int
+val retransmits : t -> int

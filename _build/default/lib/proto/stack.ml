@@ -1,0 +1,29 @@
+type t = {
+  rt : Nectar_core.Runtime.t;
+  dl : Datalink.t;
+  ip : Ipv4.t;
+  icmp : Icmp.t;
+  udp : Udp.t;
+  tcp : Tcp.t;
+  dgram : Dgram.t;
+  rmp : Rmp.t;
+  reqresp : Reqresp.t;
+}
+
+let create rt ?(tcp_checksum = true) ?(udp_checksum = true) ?mtu ?tcp_mss
+    ?tcp_input_mode ?rpc_rto ?rpc_retries () =
+  let dl = Datalink.create rt in
+  let ip = Ipv4.create dl ?mtu () in
+  let icmp = Icmp.create ip in
+  let udp = Udp.create ip ~checksum:udp_checksum ~icmp () in
+  let tcp =
+    Tcp.create ip ~software_checksum:tcp_checksum ?mss:tcp_mss
+      ?input_mode:tcp_input_mode ()
+  in
+  let dgram = Dgram.create dl in
+  let rmp = Rmp.create dl () in
+  let reqresp = Reqresp.create dl ?rto:rpc_rto ?max_retries:rpc_retries () in
+  { rt; dl; ip; icmp; udp; tcp; dgram; rmp; reqresp }
+
+let node_id t = Nectar_core.Runtime.node_id t.rt
+let addr t = Ipv4.local_addr t.ip

@@ -1,0 +1,30 @@
+(** Convenience assembly: the full protocol stack of paper §4 on one CAB —
+    datalink, IP (with ICMP, UDP, TCP registered) and the three
+    Nectar-specific transports. *)
+
+type t = {
+  rt : Nectar_core.Runtime.t;
+  dl : Datalink.t;
+  ip : Ipv4.t;
+  icmp : Icmp.t;
+  udp : Udp.t;
+  tcp : Tcp.t;
+  dgram : Dgram.t;
+  rmp : Rmp.t;
+  reqresp : Reqresp.t;
+}
+
+val create :
+  Nectar_core.Runtime.t ->
+  ?tcp_checksum:bool ->
+  ?udp_checksum:bool ->
+  ?mtu:int ->
+  ?tcp_mss:int ->
+  ?tcp_input_mode:[ `Thread | `Interrupt ] ->
+  ?rpc_rto:Nectar_sim.Sim_time.span ->
+  ?rpc_retries:int ->
+  unit ->
+  t
+
+val node_id : t -> int
+val addr : t -> Ipv4.addr

@@ -1,0 +1,39 @@
+open Nectar_util
+
+let dl_header_bytes = 12
+let proto_ip = 1
+let proto_dgram = 2
+let proto_rmp = 3
+let proto_reqresp = 4
+let proto_netdev = 5
+
+type dl_header = {
+  proto : int;
+  flags : int;
+  payload_len : int;
+  src_cab : int;
+  dst_cab : int;
+}
+
+let encode_dl b ~pos h =
+  Byte_view.set_u8 b pos h.proto;
+  Byte_view.set_u8 b (pos + 1) h.flags;
+  Byte_view.set_u16 b (pos + 2) h.payload_len;
+  Byte_view.set_u16 b (pos + 4) h.src_cab;
+  Byte_view.set_u16 b (pos + 6) h.dst_cab;
+  Byte_view.set_u32 b (pos + 8) 0
+
+let decode_dl b ~pos =
+  {
+    proto = Byte_view.get_u8 b pos;
+    flags = Byte_view.get_u8 b (pos + 1);
+    payload_len = Byte_view.get_u16 b (pos + 2);
+    src_cab = Byte_view.get_u16 b (pos + 4);
+    dst_cab = Byte_view.get_u16 b (pos + 6);
+  }
+
+let port_ip_input = 1
+let port_tcp_input = 2
+let port_udp_input = 3
+let port_tcp_send_request = 4
+let port_first_user = 100

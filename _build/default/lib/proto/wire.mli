@@ -1,0 +1,43 @@
+(** On-the-wire formats shared by the protocol modules.
+
+    The datalink header is Nectar-specific (the paper leaves its exact
+    layout unspecified; this is a faithful reconstruction carrying what the
+    paper's datalink needs: a protocol discriminator for input-mailbox
+    dispatch, the payload length for buffer allocation at start-of-packet
+    time, and source/destination CAB ids). *)
+
+(** {1 Datalink header (12 bytes)} *)
+
+val dl_header_bytes : int
+
+(** Protocol discriminators (the datalink dispatch key). *)
+
+val proto_ip : int
+val proto_dgram : int
+val proto_rmp : int
+val proto_reqresp : int
+
+val proto_netdev : int
+(** Raw packets relayed for network-device mode (paper §5.1). *)
+
+type dl_header = {
+  proto : int;
+  flags : int;
+  payload_len : int;
+  src_cab : int;
+  dst_cab : int;
+}
+
+val encode_dl : Bytes.t -> pos:int -> dl_header -> unit
+val decode_dl : Bytes.t -> pos:int -> dl_header
+
+(** {1 Port numbers}
+
+    Well-known mailbox ports on every CAB's runtime (the (cab, port) pair is
+    the paper's network-wide mailbox address). *)
+
+val port_ip_input : int
+val port_tcp_input : int
+val port_udp_input : int
+val port_tcp_send_request : int
+val port_first_user : int

@@ -1,0 +1,1 @@
+lib/sim/byte_fifo.ml: Engine Waitq

@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Engine List Nectar_util Sim_time

@@ -1,0 +1,1 @@
+lib/sim/cpu.mli: Engine Sim_time

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Nectar_util Printexc Printf Sim_time

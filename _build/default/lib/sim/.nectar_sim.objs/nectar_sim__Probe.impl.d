@@ -1,0 +1,1 @@
+lib/sim/probe.ml: Engine List Sim_time

@@ -1,0 +1,1 @@
+lib/sim/probe.mli: Engine Sim_time

@@ -1,0 +1,145 @@
+type owner = {
+  id : int;
+  oname : string;
+  switch_in : Sim_time.span;
+  transparent : bool;
+  mutable served : Sim_time.span;
+}
+
+type request = {
+  req_owner : owner;
+  priority : int;
+  atomic : bool;
+  mutable remaining : Sim_time.span; (* includes any pending switch-in cost *)
+  resume : unit -> unit;
+  seq : int;
+}
+
+type t = {
+  eng : Engine.t;
+  cname : string;
+  ready : request Nectar_util.Binary_heap.t;
+  mutable current : (request * Sim_time.t * Engine.timer) option;
+  mutable last_owner : int; (* id; -1 = none *)
+  mutable next_owner_id : int;
+  mutable next_seq : int;
+  mutable busy : Sim_time.span;
+  mutable switch_count : int;
+  mutable all_owners : owner list;
+}
+
+(* Highest priority first; FIFO (by seq) within a priority class.  A
+   preempted request keeps its original seq, so it re-enters ahead of
+   same-priority requests that arrived after it. *)
+let cmp_requests a b =
+  if a.priority <> b.priority then compare b.priority a.priority
+  else compare a.seq b.seq
+
+let create eng ~name () =
+  {
+    eng;
+    cname = name;
+    ready = Nectar_util.Binary_heap.create ~cmp:cmp_requests ();
+    current = None;
+    last_owner = -1;
+    next_owner_id = 0;
+    next_seq = 0;
+    busy = 0;
+    switch_count = 0;
+    all_owners = [];
+  }
+
+let engine t = t.eng
+
+let owner ?(transparent = false) t ~name ~switch_in =
+  let id = t.next_owner_id in
+  t.next_owner_id <- t.next_owner_id + 1;
+  let o = { id; oname = name; switch_in; transparent; served = 0 } in
+  t.all_owners <- o :: t.all_owners;
+  o
+
+let owner_name o = o.oname
+
+let rec start_next t =
+  match Nectar_util.Binary_heap.pop t.ready with
+  | None -> ()
+  | Some req -> start t req
+
+and start t req =
+  let now = Engine.now t.eng in
+  if t.last_owner <> req.req_owner.id then begin
+    if not req.req_owner.transparent then begin
+      if t.last_owner >= 0 then t.switch_count <- t.switch_count + 1;
+      req.remaining <- req.remaining + req.req_owner.switch_in;
+      t.last_owner <- req.req_owner.id
+    end
+    (* transparent owners leave [last_owner] alone: the interrupted
+       context resumes without paying its switch-in again *)
+  end;
+  let timer = Engine.after t.eng req.remaining (fun () -> complete t req) in
+  t.current <- Some (req, now, timer)
+
+and complete t req =
+  (match t.current with
+  | Some (cur, started, _) when cur == req ->
+      let elapsed = Engine.now t.eng - started in
+      t.busy <- t.busy + elapsed;
+      req.req_owner.served <- req.req_owner.served + elapsed;
+      t.current <- None
+  | _ -> invalid_arg "Cpu.complete: not current");
+  req.resume ();
+  start_next t
+
+let maybe_preempt t incoming =
+  match t.current with
+  | None -> true
+  | Some (cur, started, timer) ->
+      if (not cur.atomic) && incoming.priority > cur.priority then begin
+        Engine.cancel timer;
+        let elapsed = Engine.now t.eng - started in
+        t.busy <- t.busy + elapsed;
+        cur.req_owner.served <- cur.req_owner.served + elapsed;
+        cur.remaining <- cur.remaining - elapsed;
+        (* Guard against a zero-length residue when preempted exactly at
+           completion time (the completion event fires separately). *)
+        if cur.remaining < 0 then cur.remaining <- 0;
+        Nectar_util.Binary_heap.push t.ready cur;
+        t.current <- None;
+        true
+      end
+      else false
+
+let consume t owner ~priority ?(atomic = false) span =
+  if span < 0 then invalid_arg "Cpu.consume: negative span";
+  if span = 0 then ()
+  else
+    Engine.suspend (fun resume ->
+        let req =
+          {
+            req_owner = owner;
+            priority;
+            atomic;
+            remaining = span;
+            resume;
+            seq = t.next_seq;
+          }
+        in
+        t.next_seq <- t.next_seq + 1;
+        if maybe_preempt t req then begin
+          (* CPU is (now) idle: this request may still not be the best one
+             if a preemption just queued the loser; pick properly. *)
+          Nectar_util.Binary_heap.push t.ready req;
+          start_next t
+        end
+        else Nectar_util.Binary_heap.push t.ready req)
+
+let busy_time t =
+  match t.current with
+  | Some (_, started, _) -> t.busy + (Engine.now t.eng - started)
+  | None -> t.busy
+
+let owner_time _t o = o.served
+let switches t = t.switch_count
+
+let owners_report t =
+  List.rev_map (fun o -> (o.oname, o.served)) t.all_owners

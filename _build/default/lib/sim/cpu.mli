@@ -1,0 +1,50 @@
+(** Preemptive-resume priority CPU.
+
+    Models a single processor (the CAB's 16.5 MHz SPARC, or a host CPU) shared
+    by threads and interrupt handlers.  A process charges CPU work with
+    {!consume}; the CPU serves the highest-priority outstanding request and
+    *preempts* the running one when a strictly higher-priority request
+    arrives, resuming the loser later with its remaining work — unless the
+    current request was marked [atomic] (the model of interrupt masking /
+    critical sections, paper §3.1).
+
+    A per-owner "switch-in" cost is charged whenever the CPU starts serving a
+    different owner than it last served — this is the paper's 20 µs thread
+    context switch (SPARC register windows) and the cheaper interrupt
+    dispatch. *)
+
+type t
+
+type owner
+
+val create : Engine.t -> name:string -> unit -> t
+
+val engine : t -> Engine.t
+
+val owner :
+  ?transparent:bool -> t -> name:string -> switch_in:Sim_time.span -> owner
+(** Register an execution context (a thread, an interrupt handler).
+    [transparent] owners (interrupt handlers) do not change the CPU's
+    notion of who was last running: returning from an interrupt to the
+    interrupted thread costs nothing beyond the handler's own dispatch. *)
+
+val owner_name : owner -> string
+
+val consume :
+  t -> owner -> priority:int -> ?atomic:bool -> Sim_time.span -> unit
+(** Block the calling process until the CPU has delivered [span] of service
+    to it.  Higher [priority] numbers win.  Equal priorities are FIFO and
+    never preempt each other.  [atomic] requests cannot be preempted once
+    started. *)
+
+val busy_time : t -> Sim_time.span
+(** Total time spent serving requests (including switch-in costs). *)
+
+val owner_time : t -> owner -> Sim_time.span
+(** Service delivered to one owner. *)
+
+val switches : t -> int
+(** Number of owner-to-owner switches performed. *)
+
+val owners_report : t -> (string * Sim_time.span) list
+(** Service received by every registered owner, for accounting. *)

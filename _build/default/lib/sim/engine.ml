@@ -1,0 +1,120 @@
+type event = {
+  time : Sim_time.t;
+  seq : int;
+  mutable live : bool;
+  mutable fn : unit -> unit;
+}
+
+type t = {
+  mutable clock : Sim_time.t;
+  mutable next_seq : int;
+  queue : event Nectar_util.Binary_heap.t;
+}
+
+type timer = event
+
+exception Process_failure of string * exn
+
+let () =
+  Printexc.register_printer (function
+    | Process_failure (name, inner) ->
+        Some
+          (Printf.sprintf "Process_failure(%s, %s)" name
+             (Printexc.to_string inner))
+    | _ -> None)
+
+let compare_events a b =
+  if a.time <> b.time then compare a.time b.time else compare a.seq b.seq
+
+let create () =
+  {
+    clock = Sim_time.zero;
+    next_seq = 0;
+    queue = Nectar_util.Binary_heap.create ~cmp:compare_events ();
+  }
+
+let now t = t.clock
+
+let nothing () = ()
+
+let at t time fn =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %d before now %d" time t.clock);
+  let ev = { time; seq = t.next_seq; live = true; fn } in
+  t.next_seq <- t.next_seq + 1;
+  Nectar_util.Binary_heap.push t.queue ev;
+  ev
+
+let after t span fn = at t (t.clock + span) fn
+
+let cancel ev =
+  ev.live <- false;
+  ev.fn <- nothing
+
+(* Effect plumbing: a process performs [Suspend register]; the handler
+   installed by [spawn] turns the continuation into a one-shot resume
+   function that schedules an event on the engine. *)
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let suspend register = Effect.perform (Suspend register)
+
+let spawn t ?(name = "proc") f =
+  let run_body () =
+    let open Effect.Deep in
+    match_with f ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun e -> raise (Process_failure (name, e)));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    let resumed = ref false in
+                    let resume v =
+                      if !resumed then
+                        failwith ("Engine: double resume of process " ^ name);
+                      resumed := true;
+                      ignore (at t t.clock (fun () -> continue k v))
+                    in
+                    register resume)
+            | _ -> None);
+      }
+  in
+  ignore (at t t.clock run_body)
+
+let sleep t span =
+  if span < 0 then invalid_arg "Engine.sleep: negative span";
+  if span = 0 then ()
+  else suspend (fun resume -> ignore (after t span (fun () -> resume ())))
+
+let yield t = suspend (fun resume -> ignore (after t 0 (fun () -> resume ())))
+
+let run ?until t =
+  let continue_run = ref true in
+  while !continue_run do
+    match Nectar_util.Binary_heap.peek t.queue with
+    | None ->
+        (match until with Some u when u > t.clock -> t.clock <- u | _ -> ());
+        continue_run := false
+    | Some ev -> (
+        match until with
+        | Some u when ev.time > u ->
+            t.clock <- u;
+            continue_run := false
+        | _ ->
+            let ev = Nectar_util.Binary_heap.pop_exn t.queue in
+            if ev.live then begin
+              t.clock <- ev.time;
+              ev.live <- false;
+              ev.fn ()
+            end)
+  done
+
+let pending_events t =
+  let n = ref 0 in
+  Nectar_util.Binary_heap.iter (fun ev -> if ev.live then incr n) t.queue;
+  !n

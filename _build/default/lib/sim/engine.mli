@@ -1,0 +1,61 @@
+(** Discrete-event simulation engine.
+
+    An engine owns a virtual clock and a cancellable event queue.  Simulation
+    actors ("processes") are ordinary OCaml functions run under an effect
+    handler; inside a process, {!suspend} parks the process and hands out a
+    one-shot resume function, from which all blocking abstractions (sleeps,
+    wait queues, resources, the CPU model) are built.
+
+    Determinism: events at equal times fire in scheduling order (a strictly
+    increasing sequence number breaks ties), and nothing in the engine draws
+    randomness, so a simulation is a pure function of its inputs. *)
+
+type t
+
+exception Process_failure of string * exn
+(** Raised out of {!run} when a process body raises: carries the process
+    name and the original exception. *)
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+
+(** {1 Timers} *)
+
+type timer
+
+val at : t -> Sim_time.t -> (unit -> unit) -> timer
+(** Schedule a callback at an absolute time (>= now).  Callbacks run outside
+    any process: they must not block (they may spawn, signal, or schedule). *)
+
+val after : t -> Sim_time.span -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+(** Idempotent; cancelling a fired timer is a no-op. *)
+
+(** {1 Processes} *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Start a process at the current time (it begins running when the event
+    loop reaches its start event). *)
+
+val suspend : ((('a -> unit) -> unit)) -> 'a
+(** [suspend register] parks the calling process and calls [register resume].
+    [resume v] (callable exactly once, from anywhere) schedules the process
+    to continue with value [v] at the then-current simulated time.  Must be
+    called from within a process. *)
+
+val sleep : t -> Sim_time.span -> unit
+(** Block the calling process for a simulated duration. *)
+
+val yield : t -> unit
+(** Let other events scheduled at the current time run first. *)
+
+(** {1 Running} *)
+
+val run : ?until:Sim_time.t -> t -> unit
+(** Drain the event queue (or stop once the next event lies beyond [until],
+    setting the clock to [until]).  Processes still blocked at quiescence
+    simply never resume — this is normal for server-style processes. *)
+
+val pending_events : t -> int

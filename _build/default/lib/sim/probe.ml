@@ -1,0 +1,27 @@
+type t = {
+  eng : Engine.t;
+  mutable enabled : bool;
+  mutable entries : (Sim_time.t * string) list; (* reversed *)
+}
+
+let create eng = { eng; enabled = false; entries = [] }
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+
+let mark t label =
+  if t.enabled then t.entries <- (Engine.now t.eng, label) :: t.entries
+
+let clear t = t.entries <- []
+let marks t = List.rev t.entries
+
+let find t label =
+  let rec search = function
+    | [] -> None
+    | (time, l) :: rest -> if l = label then Some time else search rest
+  in
+  search (marks t)
+
+let span t a b =
+  match (find t a, find t b) with
+  | Some ta, Some tb -> Some (tb - ta)
+  | _ -> None

@@ -1,0 +1,21 @@
+(** Named time-stamped marks, used to reconstruct the paper's Figure 6
+    latency breakdown from a live simulation.
+
+    Probes are cheap when disabled, so protocol code marks unconditionally. *)
+
+type t
+
+val create : Engine.t -> t
+val enable : t -> unit
+val disable : t -> unit
+val mark : t -> string -> unit
+val clear : t -> unit
+
+val marks : t -> (Sim_time.t * string) list
+(** In recording order. *)
+
+val find : t -> string -> Sim_time.t option
+(** Time of the first mark with this label. *)
+
+val span : t -> string -> string -> Sim_time.span option
+(** Time from the first occurrence of one label to the first of another. *)

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic element of the simulation draws from an explicit [Rng.t]
+    so that a run is a pure function of its seeds; the determinism test in
+    [test/test_sim.ml] relies on this. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** Derive an independent stream (for giving each workload its own stream). *)
+
+val next64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+val exponential : t -> mean:float -> float
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,77 @@
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+  let reset t = t.v <- 0
+end
+
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable sum : float;
+    mutable sumsq : float;
+    mutable mn : float;
+    mutable mx : float;
+    keep : bool;
+    mutable samples : float list; (* reversed *)
+  }
+
+  let create ?(keep_samples = false) () =
+    {
+      n = 0;
+      sum = 0.;
+      sumsq = 0.;
+      mn = infinity;
+      mx = neg_infinity;
+      keep = keep_samples;
+      samples = [];
+    }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    t.sumsq <- t.sumsq +. (x *. x);
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x;
+    if t.keep then t.samples <- x :: t.samples
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+  let min t = t.mn
+  let max t = t.mx
+
+  let stddev t =
+    if t.n < 2 then 0.
+    else
+      let m = mean t in
+      let var = (t.sumsq /. float_of_int t.n) -. (m *. m) in
+      sqrt (Float.max 0. var)
+
+  let percentile t p =
+    if not t.keep then invalid_arg "Summary.percentile: samples not kept";
+    if t.samples = [] then invalid_arg "Summary.percentile: empty";
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    let idx = p *. float_of_int (Array.length a - 1) in
+    let lo = int_of_float (floor idx) and hi = int_of_float (ceil idx) in
+    let frac = idx -. floor idx in
+    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+
+  let reset t =
+    t.n <- 0;
+    t.sum <- 0.;
+    t.sumsq <- 0.;
+    t.mn <- infinity;
+    t.mx <- neg_infinity;
+    t.samples <- []
+end
+
+module Throughput = struct
+  let mbit_per_s ~bytes_moved ~elapsed =
+    if elapsed <= 0 then 0.
+    else
+      float_of_int (bytes_moved * 8) /. (float_of_int elapsed /. 1e9) /. 1e6
+end

@@ -1,0 +1,35 @@
+(** Measurement helpers for the benches and examples. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** Running summary of a series of observations, optionally keeping every
+    sample so percentiles can be reported. *)
+module Summary : sig
+  type t
+
+  val create : ?keep_samples:bool -> unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.99]; requires [keep_samples]. *)
+
+  val reset : t -> unit
+end
+
+(** Throughput over a simulated interval. *)
+module Throughput : sig
+  val mbit_per_s : bytes_moved:int -> elapsed:Sim_time.span -> float
+end

@@ -1,0 +1,54 @@
+type entry = { mutable live : bool; mutable wake : unit -> unit }
+
+type t = { eng : Engine.t; entries : entry Queue.t; mutable name : string }
+
+let create eng ?(name = "waitq") () = { eng; entries = Queue.create (); name }
+
+let wait t =
+  Engine.suspend (fun resume ->
+      Queue.add { live = true; wake = resume } t.entries)
+
+let wait_releasing t ~release =
+  Engine.suspend (fun resume ->
+      Queue.add { live = true; wake = resume } t.entries;
+      release ())
+
+let wait_timeout_releasing t ~release span =
+  Engine.suspend (fun resume ->
+      let e = { live = true; wake = (fun () -> ()) } in
+      let tm =
+        Engine.after t.eng span (fun () ->
+            if e.live then begin
+              e.live <- false;
+              resume `Timeout
+            end)
+      in
+      e.wake <-
+        (fun () ->
+          Engine.cancel tm;
+          resume `Signaled);
+      Queue.add e t.entries;
+      release ())
+
+let wait_timeout t span = wait_timeout_releasing t ~release:(fun () -> ()) span
+
+let rec signal t =
+  match Queue.take_opt t.entries with
+  | None -> false
+  | Some e ->
+      if e.live then begin
+        e.live <- false;
+        e.wake ();
+        true
+      end
+      else signal t
+
+let broadcast t =
+  let n = ref 0 in
+  while signal t do
+    incr n
+  done;
+  !n
+
+let waiters t =
+  Queue.fold (fun acc e -> if e.live then acc + 1 else acc) 0 t.entries

@@ -1,0 +1,1 @@
+lib/txn/commit.ml: Hashtbl List Nectar_proto Printf Reqresp Scanf Stack String

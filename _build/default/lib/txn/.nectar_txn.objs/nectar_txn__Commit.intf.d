@@ -1,0 +1,1 @@
+lib/txn/commit.mli: Nectar_core Nectar_proto

@@ -1,0 +1,79 @@
+
+open Nectar_proto
+
+let commit_port = 960
+
+(* Wire format: "P <txn> <payload>" -> "y"/"n";
+   "C <txn>" / "A <txn>" -> "ok". *)
+
+type participant = {
+  mutable log : (int * [ `Committed | `Aborted ]) list; (* newest first *)
+  prepared : (int, string) Hashtbl.t;
+}
+
+let participant stack ?(prepare = fun ~txn:_ ~payload:_ -> true) () =
+  let p = { log = []; prepared = Hashtbl.create 16 } in
+  Reqresp.register_server stack.Stack.reqresp ~port:commit_port
+    ~mode:Reqresp.Thread_server (fun _ctx request ->
+      let op = request.[0] in
+      if op = 'P' then
+        Scanf.sscanf request "P %d %s@\000" (fun txn payload ->
+            if prepare ~txn ~payload then begin
+              Hashtbl.replace p.prepared txn payload;
+              "y"
+            end
+            else "n")
+      else
+        Scanf.sscanf request "%c %d" (fun op txn ->
+            Hashtbl.remove p.prepared txn;
+            p.log <-
+              (txn, if op = 'C' then `Committed else `Aborted) :: p.log;
+            "ok"))
+  ;
+  p
+
+let decisions p = List.rev p.log
+
+type coordinator = {
+  stack : Stack.t;
+  mutable next_txn : int;
+  mutable txn_count : int;
+  mutable abort_count : int;
+}
+
+let coordinator stack = { stack; next_txn = 1; txn_count = 0; abort_count = 0 }
+
+let call ctx c ~dst ~request =
+  try Some (Reqresp.call ctx c.stack.Stack.reqresp ~dst_cab:dst
+              ~dst_port:commit_port request)
+  with Reqresp.Call_timeout _ -> None
+
+let run ctx c ~participants ~payload =
+  let txn = c.next_txn in
+  c.next_txn <- txn + 1;
+  c.txn_count <- c.txn_count + 1;
+  (* phase 1: collect votes; any timeout or NO aborts *)
+  let all_yes =
+    List.for_all
+      (fun dst ->
+        match call ctx c ~dst ~request:(Printf.sprintf "P %d %s" txn payload)
+        with
+        | Some "y" -> true
+        | Some _ | None -> false)
+      participants
+  in
+  (* phase 2: broadcast the decision (best effort; a real system would
+     retry from the stable log) *)
+  let op = if all_yes then 'C' else 'A' in
+  List.iter
+    (fun dst ->
+      ignore (call ctx c ~dst ~request:(Printf.sprintf "%c %d" op txn)))
+    participants;
+  if all_yes then `Committed
+  else begin
+    c.abort_count <- c.abort_count + 1;
+    `Aborted
+  end
+
+let transactions c = c.txn_count
+let aborts c = c.abort_count

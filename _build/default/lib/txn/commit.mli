@@ -1,0 +1,44 @@
+(** Distributed transaction commit, offloaded to the CABs (paper §5.3).
+
+    "Communication is a major bottleneck in the Camelot distributed
+    transaction system, so experiments are being planned to offload
+    Camelot's distributed locking and commit protocols to the CAB."
+
+    A presumed-abort two-phase commit: the coordinator (a CAB task) drives
+    PREPARE / COMMIT / ABORT rounds over the request-response protocol;
+    participants run their vote and decision handlers on their own CABs —
+    the host is not involved in the protocol at all.
+
+    An unreachable or timed-out participant is a NO vote; decisions are
+    recorded in an in-memory decision log (the stand-in for Camelot's
+    stable storage), and the request-response layer's at-most-once
+    machinery absorbs duplicate deliveries. *)
+
+type participant
+
+val participant :
+  Nectar_proto.Stack.t ->
+  ?prepare:(txn:int -> payload:string -> bool) ->
+  unit ->
+  participant
+(** Serve the commit protocol on this CAB.  [prepare] is the vote function
+    (default: always yes). *)
+
+val decisions : participant -> (int * [ `Committed | `Aborted ]) list
+(** The participant's decision log, oldest first. *)
+
+type coordinator
+
+val coordinator : Nectar_proto.Stack.t -> coordinator
+
+val run :
+  Nectar_core.Ctx.t ->
+  coordinator ->
+  participants:int list ->
+  payload:string ->
+  [ `Committed | `Aborted ]
+(** Execute one transaction across the given CAB node ids (which must run
+    {!participant}).  Returns the global decision. *)
+
+val transactions : coordinator -> int
+val aborts : coordinator -> int

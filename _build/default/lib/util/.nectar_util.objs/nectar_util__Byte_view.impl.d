@@ -1,0 +1,1 @@
+lib/util/byte_view.ml: Buffer Bytes Int32 Printf

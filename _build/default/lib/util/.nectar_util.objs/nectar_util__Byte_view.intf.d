@@ -1,0 +1,1 @@
+lib/util/byte_view.mli: Bytes

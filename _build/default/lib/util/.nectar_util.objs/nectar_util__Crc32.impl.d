@@ -1,0 +1,1 @@
+lib/util/crc32.ml: Array Bytes Char Lazy String

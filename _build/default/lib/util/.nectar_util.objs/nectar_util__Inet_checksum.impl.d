@@ -1,0 +1,1 @@
+lib/util/inet_checksum.ml: Bytes Char

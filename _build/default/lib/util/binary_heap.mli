@@ -1,0 +1,21 @@
+(** Imperative polymorphic binary min-heap, parameterised by a comparison
+    function at creation time.  Used for the simulator event queue and the
+    CPU ready queue. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, or [None] when empty. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Iterate in unspecified order. *)

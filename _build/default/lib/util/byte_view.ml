@@ -1,0 +1,35 @@
+let get_u8 b i = Bytes.get_uint8 b i
+let set_u8 b i v = Bytes.set_uint8 b i (v land 0xff)
+let get_u16 b i = Bytes.get_uint16_be b i
+let set_u16 b i v = Bytes.set_uint16_be b i (v land 0xffff)
+
+let get_u32 b i = Int32.to_int (Bytes.get_int32_be b i) land 0xffffffff
+
+let set_u32 b i v = Bytes.set_int32_be b i (Int32.of_int (v land 0xffffffff))
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len = Bytes.blit src src_pos dst dst_pos len
+
+let sub_string b ~pos ~len = Bytes.sub_string b pos len
+
+let hex_dump b ~pos ~len =
+  let buf = Buffer.create (len * 4) in
+  let line_start = ref pos in
+  while !line_start < pos + len do
+    let n = min 16 (pos + len - !line_start) in
+    Buffer.add_string buf (Printf.sprintf "%08x  " (!line_start - pos));
+    for i = 0 to 15 do
+      if i < n then
+        Buffer.add_string buf
+          (Printf.sprintf "%02x " (Bytes.get_uint8 b (!line_start + i)))
+      else Buffer.add_string buf "   ";
+      if i = 7 then Buffer.add_char buf ' '
+    done;
+    Buffer.add_string buf " |";
+    for i = 0 to n - 1 do
+      let c = Bytes.get b (!line_start + i) in
+      Buffer.add_char buf (if c >= ' ' && c < '\x7f' then c else '.')
+    done;
+    Buffer.add_string buf "|\n";
+    line_start := !line_start + 16
+  done;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Big-endian accessors and small helpers over [Bytes.t] used by every
+    protocol header encoder/decoder.  All integers are unsigned and returned
+    as non-negative [int]s (32-bit fields fit because OCaml ints are 63-bit
+    here). *)
+
+val get_u8 : Bytes.t -> int -> int
+val set_u8 : Bytes.t -> int -> int -> unit
+val get_u16 : Bytes.t -> int -> int
+val set_u16 : Bytes.t -> int -> int -> unit
+val get_u32 : Bytes.t -> int -> int
+val set_u32 : Bytes.t -> int -> int -> unit
+
+val blit : src:Bytes.t -> src_pos:int -> dst:Bytes.t -> dst_pos:int ->
+  len:int -> unit
+
+val sub_string : Bytes.t -> pos:int -> len:int -> string
+
+val hex_dump : Bytes.t -> pos:int -> len:int -> string
+(** Multi-line classic hex dump, 16 bytes per line, for traces and tests. *)

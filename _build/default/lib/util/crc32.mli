@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected), as computed by the CAB's
+    hardware checksum unit for incoming and outgoing fiber data (paper §2.2).
+
+    The value is returned as a non-negative [int] in the range [0, 2^32). *)
+
+val digest : ?init:int -> Bytes.t -> pos:int -> len:int -> int
+(** [digest b ~pos ~len] is the CRC-32 of the [len] bytes of [b] starting at
+    [pos].  [init] (default 0) allows chaining: [digest ~init:(digest a) b]
+    equals the digest of the concatenation of [a] and [b]. *)
+
+val digest_string : string -> int
+(** [digest_string s] is the CRC-32 of all of [s]. *)

@@ -1,0 +1,26 @@
+let sum ?(init = 0) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Inet_checksum.sum";
+  let acc = ref init in
+  let i = ref pos in
+  let stop = pos + len - 1 in
+  while !i < stop do
+    acc := !acc + Bytes.get_uint16_be b !i;
+    i := !i + 2
+  done;
+  if len land 1 = 1 then
+    acc := !acc + (Char.code (Bytes.unsafe_get b (pos + len - 1)) lsl 8);
+  !acc
+
+let add16 acc v = acc + (v land 0xffff)
+
+let finish acc =
+  let a = ref acc in
+  while !a lsr 16 <> 0 do
+    a := (!a land 0xffff) + (!a lsr 16)
+  done;
+  lnot !a land 0xffff
+
+let checksum b ~pos ~len = finish (sum b ~pos ~len)
+
+let valid b ~pos ~len = checksum b ~pos ~len = 0

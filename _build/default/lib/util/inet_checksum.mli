@@ -1,0 +1,24 @@
+(** RFC 1071 Internet checksum: 16-bit one's-complement sum, used by the IP,
+    UDP and TCP implementations (paper §4).
+
+    A partial sum is an [int] accumulator; [finish] folds carries and
+    complements it into the 16-bit checksum field value. *)
+
+val sum : ?init:int -> Bytes.t -> pos:int -> len:int -> int
+(** [sum b ~pos ~len] adds the given byte range (big-endian 16-bit words, an
+    odd trailing byte padded with zero) to partial sum [init] (default 0).
+    Note: chaining ranges through [init] is only correct when every range but
+    the last has even length. *)
+
+val add16 : int -> int -> int
+(** [add16 acc v] adds one 16-bit word to a partial sum. *)
+
+val finish : int -> int
+(** Fold carries and complement; the result is in [0, 0xffff]. *)
+
+val checksum : Bytes.t -> pos:int -> len:int -> int
+(** [checksum b ~pos ~len] = [finish (sum b ~pos ~len)]. *)
+
+val valid : Bytes.t -> pos:int -> len:int -> bool
+(** [valid b ~pos ~len] is true when the range (which must include its
+    checksum field) sums to zero, i.e. the stored checksum is correct. *)

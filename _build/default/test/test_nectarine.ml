@@ -1,0 +1,113 @@
+(* Nectarine-level tests: the presentation layer (marshaling) and its
+   offload behavior. *)
+
+open Nectar_sim
+open Nectar_core
+module Presentation = Nectarine.Presentation
+
+let null_ctx eng : Ctx.t =
+  { eng; work = (fun _ -> ()); may_block = true; ctx_name = "t"; on_cpu = None }
+
+(* structured-value generator for roundtrip properties *)
+let value_gen =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [
+               map (fun i -> Presentation.Int i) int;
+               map (fun s -> Presentation.Str s) (string_size (int_range 0 40));
+               map (fun b -> Presentation.Bool b) bool;
+             ]
+         in
+         if n <= 0 then leaf
+         else
+           frequency
+             [
+               (3, leaf);
+               ( 1,
+                 map
+                   (fun vs -> Presentation.List vs)
+                   (list_size (int_range 0 5) (self (n / 3))) );
+               ( 1,
+                 map2
+                   (fun a b -> Presentation.Pair (a, b))
+                   (self (n / 2)) (self (n / 2)) );
+             ])
+
+let prop_marshal_roundtrip =
+  QCheck2.Test.make ~name:"presentation encode/decode roundtrip" value_gen
+    (fun v ->
+      let eng = Engine.create () in
+      let ctx = null_ctx eng in
+      let encoded = Presentation.encode ctx v in
+      String.length encoded = Presentation.encoded_size v
+      && Presentation.equal v (Presentation.decode ctx encoded))
+
+let prop_marshal_rejects_truncation =
+  QCheck2.Test.make ~name:"decode rejects truncated input" value_gen
+    (fun v ->
+      let eng = Engine.create () in
+      let ctx = null_ctx eng in
+      let encoded = Presentation.encode ctx v in
+      QCheck2.assume (String.length encoded > 4);
+      let cut = String.sub encoded 0 (String.length encoded - 4) in
+      match Presentation.decode ctx cut with
+      | _ -> false
+      | exception Invalid_argument _ -> true)
+
+let test_marshal_int_extremes () =
+  let eng = Engine.create () in
+  let ctx = null_ctx eng in
+  List.iter
+    (fun n ->
+      let e = Presentation.encode ctx (Presentation.Int n) in
+      match Presentation.decode ctx e with
+      | Presentation.Int n' -> Alcotest.(check int) "extreme int" n n'
+      | _ -> Alcotest.fail "wrong shape")
+    [ 0; -1; 1; max_int; min_int; 0x7fffffff; -0x80000000 ]
+
+let test_marshal_charges_cpu () =
+  (* encoding on a CAB thread must consume simulated CPU time in
+     proportion to the encoded size *)
+  let eng = Engine.create () in
+  let net = Nectar_hub.Network.create eng ~hubs:1 () in
+  let cab = Nectar_cab.Cab.create net ~hub:0 ~port:0 ~name:"cab" in
+  let took = ref 0 in
+  let v =
+    Presentation.List
+      (List.init 50 (fun i ->
+           Presentation.Pair
+             (Presentation.Int i, Presentation.Str (String.make 100 'm'))))
+  in
+  ignore
+    (Thread.create cab ~name:"marshaler" (fun ctx ->
+         let t0 = Engine.now eng in
+         let e = Presentation.encode ctx v in
+         ignore (Presentation.decode ctx e);
+         took := Engine.now eng - t0));
+  Engine.run eng;
+  let expected =
+    2 * Presentation.encoded_size v
+    * Presentation.marshal_cycles_per_byte
+    * Nectar_cab.Costs.cab_cycle_ns
+  in
+  (* the thread switch-in is the only other charge *)
+  Alcotest.(check int) "cycles charged per byte"
+    (expected + Nectar_cab.Costs.ctx_switch_ns)
+    !took
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "nectarine"
+    [
+      ( "presentation",
+        [
+          qtest prop_marshal_roundtrip;
+          qtest prop_marshal_rejects_truncation;
+          Alcotest.test_case "int extremes" `Quick test_marshal_int_extremes;
+          Alcotest.test_case "charges cpu" `Quick test_marshal_charges_cpu;
+        ] );
+    ]

@@ -1,0 +1,484 @@
+open Nectar_sim
+
+let check_int = Alcotest.(check int)
+let us = Sim_time.us
+
+(* ---------- Engine ---------- *)
+
+let test_event_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  ignore (Engine.at eng (us 30) (record "c"));
+  ignore (Engine.at eng (us 10) (record "a"));
+  ignore (Engine.at eng (us 20) (record "b"));
+  Engine.run eng;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  check_int "clock at last event" (us 30) (Engine.now eng)
+
+let test_same_time_fifo () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.at eng (us 10) (fun () -> log := i :: !log))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo at equal time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_timer_cancel () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  let tm = Engine.after eng (us 5) (fun () -> fired := true) in
+  ignore (Engine.after eng (us 1) (fun () -> Engine.cancel tm));
+  Engine.run eng;
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_sleep_advances_clock () =
+  let eng = Engine.create () in
+  let woke_at = ref (-1) in
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng (us 42);
+      woke_at := Engine.now eng);
+  Engine.run eng;
+  check_int "woke at 42us" (us 42) !woke_at
+
+let test_nested_sleeps () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.spawn eng ~name:"a" (fun () ->
+      Engine.sleep eng (us 10);
+      log := ("a", Engine.now eng) :: !log;
+      Engine.sleep eng (us 10);
+      log := ("a2", Engine.now eng) :: !log);
+  Engine.spawn eng ~name:"b" (fun () ->
+      Engine.sleep eng (us 15);
+      log := ("b", Engine.now eng) :: !log);
+  Engine.run eng;
+  Alcotest.(check (list (pair string int)))
+    "interleaving"
+    [ ("a", us 10); ("b", us 15); ("a2", us 20) ]
+    (List.rev !log)
+
+let test_process_failure_propagates () =
+  let eng = Engine.create () in
+  Engine.spawn eng ~name:"boom" (fun () ->
+      Engine.sleep eng (us 1);
+      failwith "bang");
+  Alcotest.check_raises "failure surfaces"
+    (Engine.Process_failure ("boom", Failure "bang")) (fun () ->
+      Engine.run eng)
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.at eng (us 100) (fun () -> fired := true));
+  Engine.run ~until:(us 50) eng;
+  Alcotest.(check bool) "future event not run" false !fired;
+  check_int "clock parked at until" (us 50) (Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check bool) "event runs later" true !fired
+
+let test_suspend_resume_value () =
+  let eng = Engine.create () in
+  let resumer = ref (fun (_ : int) -> ()) in
+  let got = ref 0 in
+  Engine.spawn eng (fun () ->
+      let v = Engine.suspend (fun resume -> resumer := resume) in
+      got := v + 1);
+  ignore (Engine.after eng (us 3) (fun () -> !resumer 41));
+  Engine.run eng;
+  check_int "resumed with value" 42 !got
+
+(* ---------- Waitq ---------- *)
+
+let test_waitq_fifo_wakeup () =
+  let eng = Engine.create () in
+  let q = Waitq.create eng () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Waitq.wait q;
+        log := i :: !log)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng (us 1);
+      ignore (Waitq.signal q);
+      Engine.sleep eng (us 1);
+      ignore (Waitq.signal q);
+      ignore (Waitq.signal q));
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo wakeup" [ 1; 2; 3 ] (List.rev !log)
+
+let test_waitq_timeout () =
+  let eng = Engine.create () in
+  let q = Waitq.create eng () in
+  let out = ref `Signaled in
+  Engine.spawn eng (fun () -> out := Waitq.wait_timeout q (us 7));
+  Engine.run eng;
+  Alcotest.(check bool) "timed out" true (!out = `Timeout);
+  check_int "at timeout time" (us 7) (Engine.now eng)
+
+let test_waitq_signal_beats_timeout () =
+  let eng = Engine.create () in
+  let q = Waitq.create eng () in
+  let out = ref `Timeout in
+  Engine.spawn eng (fun () -> out := Waitq.wait_timeout q (us 100));
+  ignore (Engine.after eng (us 5) (fun () -> ignore (Waitq.signal q)));
+  Engine.run eng;
+  Alcotest.(check bool) "signaled" true (!out = `Signaled);
+  check_int "no stray timeout event" 0 (Engine.pending_events eng)
+
+let test_waitq_broadcast () =
+  let eng = Engine.create () in
+  let q = Waitq.create eng () in
+  let woken = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn eng (fun () ->
+        Waitq.wait q;
+        incr woken)
+  done;
+  ignore (Engine.after eng (us 1) (fun () -> ignore (Waitq.broadcast q)));
+  Engine.run eng;
+  check_int "all woken" 4 !woken
+
+(* ---------- Resource ---------- *)
+
+let test_resource_serializes () =
+  let eng = Engine.create () in
+  let r = Resource.create eng () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Resource.use r (us 10);
+        log := (i, Engine.now eng) :: !log)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list (pair int int)))
+    "fifo grants, serialized"
+    [ (1, us 10); (2, us 20); (3, us 30) ]
+    (List.rev !log)
+
+let test_resource_try_acquire () =
+  let eng = Engine.create () in
+  let r = Resource.create eng () in
+  Engine.spawn eng (fun () ->
+      Alcotest.(check bool) "free" true (Resource.try_acquire r);
+      Alcotest.(check bool) "busy" false (Resource.try_acquire r);
+      Resource.release r;
+      Alcotest.(check bool) "free again" true (Resource.try_acquire r);
+      Resource.release r);
+  Engine.run eng
+
+let test_resource_busy_time () =
+  let eng = Engine.create () in
+  let r = Resource.create eng () in
+  Engine.spawn eng (fun () -> Resource.use r (us 25));
+  Engine.run eng;
+  check_int "busy time" (us 25) (Resource.busy_time r)
+
+let test_resource_capacity2 () =
+  let eng = Engine.create () in
+  let r = Resource.create eng ~capacity:2 () in
+  let done_at = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Resource.use r (us 10);
+        done_at := (i, Engine.now eng) :: !done_at)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list (pair int int)))
+    "two run in parallel, third queues"
+    [ (1, us 10); (2, us 10); (3, us 20) ]
+    (List.rev !done_at)
+
+(* ---------- Byte_fifo ---------- *)
+
+let test_fifo_backpressure () =
+  let eng = Engine.create () in
+  let f = Byte_fifo.create eng ~capacity:100 ~name:"t" in
+  let pushed_all_at = ref (-1) in
+  Engine.spawn eng ~name:"producer" (fun () ->
+      for _ = 1 to 4 do
+        Byte_fifo.push f 50
+      done;
+      pushed_all_at := Engine.now eng);
+  Engine.spawn eng ~name:"consumer" (fun () ->
+      for _ = 1 to 4 do
+        Engine.sleep eng (us 10);
+        Byte_fifo.pop f 50
+      done);
+  Engine.run eng;
+  (* capacity 100 admits two pushes at t=0; the 3rd waits for the pop at
+     10us, the 4th for the pop at 20us. *)
+  check_int "producer blocked until room" (us 20) !pushed_all_at;
+  check_int "drained" 0 (Byte_fifo.level f);
+  check_int "high-water" 100 (Byte_fifo.max_level f)
+
+let test_fifo_pop_blocks_until_data () =
+  let eng = Engine.create () in
+  let f = Byte_fifo.create eng ~capacity:64 ~name:"t" in
+  let got_at = ref (-1) in
+  Engine.spawn eng (fun () ->
+      Byte_fifo.pop f 10;
+      got_at := Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng (us 30);
+      Byte_fifo.push f 10);
+  Engine.run eng;
+  check_int "pop completed when data arrived" (us 30) !got_at
+
+(* ---------- Cpu ---------- *)
+
+let test_cpu_single_consume () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~name:"cab" () in
+  let o = Cpu.owner cpu ~name:"t0" ~switch_in:0 in
+  let done_at = ref (-1) in
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu o ~priority:1 (us 10);
+      done_at := Engine.now eng);
+  Engine.run eng;
+  check_int "service time" (us 10) !done_at;
+  check_int "busy" (us 10) (Cpu.busy_time cpu)
+
+let test_cpu_fifo_same_priority () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~name:"cab" () in
+  let done_at = ref [] in
+  for i = 1 to 3 do
+    let o = Cpu.owner cpu ~name:(Printf.sprintf "t%d" i) ~switch_in:0 in
+    Engine.spawn eng (fun () ->
+        Cpu.consume cpu o ~priority:5 (us 10);
+        done_at := (i, Engine.now eng) :: !done_at)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list (pair int int)))
+    "fifo order" [ (1, us 10); (2, us 20); (3, us 30) ]
+    (List.rev !done_at)
+
+let test_cpu_preemption () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~name:"cab" () in
+  let low = Cpu.owner cpu ~name:"low" ~switch_in:0 in
+  let high = Cpu.owner cpu ~name:"high" ~switch_in:0 in
+  let low_done = ref (-1) and high_done = ref (-1) in
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu low ~priority:1 (us 100);
+      low_done := Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng (us 20);
+      Cpu.consume cpu high ~priority:10 (us 30);
+      high_done := Engine.now eng);
+  Engine.run eng;
+  (* high runs 20..50; low runs 0..20 and 50..130 *)
+  check_int "high done at 50" (us 50) !high_done;
+  check_int "low resumed and finished at 130" (us 130) !low_done
+
+let test_cpu_atomic_blocks_preemption () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~name:"cab" () in
+  let low = Cpu.owner cpu ~name:"low" ~switch_in:0 in
+  let high = Cpu.owner cpu ~name:"high" ~switch_in:0 in
+  let high_done = ref (-1) in
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu low ~priority:1 ~atomic:true (us 100));
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng (us 20);
+      Cpu.consume cpu high ~priority:10 (us 30);
+      high_done := Engine.now eng);
+  Engine.run eng;
+  check_int "high waited for atomic section" (us 130) !high_done
+
+let test_cpu_switch_cost () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~name:"cab" () in
+  let a = Cpu.owner cpu ~name:"a" ~switch_in:(us 20) in
+  let b = Cpu.owner cpu ~name:"b" ~switch_in:(us 20) in
+  let b_done = ref (-1) and a2_done = ref (-1) in
+  Engine.spawn eng (fun () ->
+      (* First-ever dispatch still pays a's switch-in. *)
+      Cpu.consume cpu a ~priority:1 (us 10);
+      Cpu.consume cpu a ~priority:1 (us 10);
+      a2_done := Engine.now eng;
+      Cpu.consume cpu b ~priority:1 (us 10);
+      b_done := Engine.now eng);
+  Engine.run eng;
+  (* a: 20 switch + 10 work, then same-owner 10 work = 40; b: 20 + 10 = 70 *)
+  check_int "same owner pays once" (us 40) !a2_done;
+  check_int "owner change pays switch" (us 70) !b_done;
+  check_int "one owner-to-owner switch" 1 (Cpu.switches cpu)
+
+let test_cpu_owner_accounting () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng ~name:"cab" () in
+  let a = Cpu.owner cpu ~name:"a" ~switch_in:0 in
+  let b = Cpu.owner cpu ~name:"b" ~switch_in:0 in
+  Engine.spawn eng (fun () -> Cpu.consume cpu a ~priority:1 (us 30));
+  Engine.spawn eng (fun () -> Cpu.consume cpu b ~priority:2 (us 15));
+  Engine.run eng;
+  check_int "a served" (us 30) (Cpu.owner_time cpu a);
+  check_int "b served" (us 15) (Cpu.owner_time cpu b);
+  check_int "busy total" (us 45) (Cpu.busy_time cpu)
+
+let prop_cpu_work_conservation =
+  QCheck2.Test.make ~name:"cpu serves exactly the requested work"
+    QCheck2.Gen.(
+      list_size (int_range 1 20)
+        (triple (int_range 1 5) (int_range 1 500) (int_range 0 2000)))
+    (fun jobs ->
+      let eng = Engine.create () in
+      let cpu = Cpu.create eng ~name:"c" () in
+      let total = ref 0 in
+      List.iteri
+        (fun i (prio, work, start) ->
+          let o = Cpu.owner cpu ~name:(string_of_int i) ~switch_in:0 in
+          total := !total + us work;
+          Engine.spawn eng (fun () ->
+              Engine.sleep eng (us start);
+              Cpu.consume cpu o ~priority:prio (us work)))
+        jobs;
+      Engine.run eng;
+      Cpu.busy_time cpu = !total)
+
+(* ---------- Determinism ---------- *)
+
+let scenario_trace seed =
+  let eng = Engine.create () in
+  let rng = Rng.create ~seed in
+  let cpu = Cpu.create eng ~name:"c" () in
+  let q = Waitq.create eng () in
+  let log = Buffer.create 256 in
+  for i = 0 to 9 do
+    let o = Cpu.owner cpu ~name:(string_of_int i) ~switch_in:(us 2) in
+    Engine.spawn eng (fun () ->
+        Engine.sleep eng (us (Rng.int rng 50));
+        Cpu.consume cpu o ~priority:(Rng.int rng 3) (us (1 + Rng.int rng 20));
+        if Rng.bool rng then ignore (Waitq.signal q)
+        else if Rng.int rng 4 = 0 then
+          ignore (Waitq.wait_timeout q (us (Rng.int rng 30)));
+        Buffer.add_string log
+          (Printf.sprintf "%d@%d;" i (Engine.now eng)))
+  done;
+  Engine.run eng;
+  Buffer.contents log
+
+let test_determinism () =
+  Alcotest.(check string)
+    "same seed, same trace" (scenario_trace 42) (scenario_trace 42);
+  Alcotest.(check bool)
+    "different seed, different trace" true
+    (scenario_trace 42 <> scenario_trace 43)
+
+(* ---------- Stats / Rng / Probe ---------- *)
+
+let test_summary () =
+  let s = Stats.Summary.create ~keep_samples:true () in
+  List.iter (Stats.Summary.add s) [ 1.; 2.; 3.; 4. ];
+  check_int "count" 4 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 4. (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.Summary.percentile s 0.5)
+
+let test_throughput () =
+  Alcotest.(check (float 1e-6))
+    "100 Mbit/s" 100.
+    (Stats.Throughput.mbit_per_s ~bytes_moved:12_500_000
+       ~elapsed:(Sim_time.s 1))
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_probe () =
+  let eng = Engine.create () in
+  let p = Probe.create eng in
+  Probe.enable p;
+  Engine.spawn eng (fun () ->
+      Probe.mark p "start";
+      Engine.sleep eng (us 12);
+      Probe.mark p "end");
+  Engine.run eng;
+  Alcotest.(check (option int)) "span" (Some (us 12))
+    (Probe.span p "start" "end");
+  Probe.disable p;
+  Probe.clear p;
+  Engine.spawn eng (fun () -> Probe.mark p "late");
+  Engine.run eng;
+  Alcotest.(check (option int)) "disabled records nothing" None
+    (Probe.find p "late")
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "nectar_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event time order" `Quick test_event_order;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
+          Alcotest.test_case "sleep" `Quick test_sleep_advances_clock;
+          Alcotest.test_case "interleaving" `Quick test_nested_sleeps;
+          Alcotest.test_case "failure propagates" `Quick
+            test_process_failure_propagates;
+          Alcotest.test_case "run ~until" `Quick test_run_until;
+          Alcotest.test_case "suspend/resume value" `Quick
+            test_suspend_resume_value;
+        ] );
+      ( "waitq",
+        [
+          Alcotest.test_case "fifo wakeup" `Quick test_waitq_fifo_wakeup;
+          Alcotest.test_case "timeout" `Quick test_waitq_timeout;
+          Alcotest.test_case "signal beats timeout" `Quick
+            test_waitq_signal_beats_timeout;
+          Alcotest.test_case "broadcast" `Quick test_waitq_broadcast;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "serializes" `Quick test_resource_serializes;
+          Alcotest.test_case "try_acquire" `Quick test_resource_try_acquire;
+          Alcotest.test_case "busy time" `Quick test_resource_busy_time;
+          Alcotest.test_case "capacity 2" `Quick test_resource_capacity2;
+        ] );
+      ( "byte_fifo",
+        [
+          Alcotest.test_case "backpressure" `Quick test_fifo_backpressure;
+          Alcotest.test_case "pop blocks" `Quick
+            test_fifo_pop_blocks_until_data;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "single consume" `Quick test_cpu_single_consume;
+          Alcotest.test_case "fifo same priority" `Quick
+            test_cpu_fifo_same_priority;
+          Alcotest.test_case "preemption" `Quick test_cpu_preemption;
+          Alcotest.test_case "atomic section" `Quick
+            test_cpu_atomic_blocks_preemption;
+          Alcotest.test_case "switch cost" `Quick test_cpu_switch_cost;
+          Alcotest.test_case "owner accounting" `Quick
+            test_cpu_owner_accounting;
+          qtest prop_cpu_work_conservation;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "seeded replay" `Quick test_determinism ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "throughput" `Quick test_throughput;
+          Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "probe" `Quick test_probe;
+        ] );
+    ]

@@ -1,0 +1,195 @@
+open Nectar_util
+
+let check_int = Alcotest.(check int)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec search i = i + nn <= nh && (String.sub haystack i nn = needle || search (i + 1)) in
+  search 0
+
+(* ---------- CRC-32 ---------- *)
+
+let test_crc_known_vectors () =
+  check_int "crc32(123456789)" 0xcbf43926 (Crc32.digest_string "123456789");
+  check_int "crc32(empty)" 0 (Crc32.digest_string "");
+  check_int "crc32(a)" 0xe8b7be43 (Crc32.digest_string "a");
+  check_int "crc32(abc)" 0x352441c2 (Crc32.digest_string "abc")
+
+let test_crc_range () =
+  let b = Bytes.of_string "xxhelloyy" in
+  check_int "sub-range" (Crc32.digest_string "hello")
+    (Crc32.digest b ~pos:2 ~len:5)
+
+let prop_crc_chaining =
+  QCheck2.Test.make ~name:"crc32 chaining equals concatenation"
+    QCheck2.Gen.(pair string string)
+    (fun (a, b) ->
+      let whole = Crc32.digest_string (a ^ b) in
+      let chained =
+        Crc32.digest ~init:(Crc32.digest_string a)
+          (Bytes.of_string b) ~pos:0 ~len:(String.length b)
+      in
+      whole = chained)
+
+let prop_crc_detects_single_bit_flip =
+  QCheck2.Test.make ~name:"crc32 detects any single-bit flip"
+    QCheck2.Gen.(pair (string_size (int_range 1 64)) (int_bound 1_000_000))
+    (fun (s, r) ->
+      let b = Bytes.of_string s in
+      let bit = r mod (Bytes.length b * 8) in
+      let original = Crc32.digest b ~pos:0 ~len:(Bytes.length b) in
+      let i = bit / 8 and m = 1 lsl (bit mod 8) in
+      Bytes.set_uint8 b i (Bytes.get_uint8 b i lxor m);
+      Crc32.digest b ~pos:0 ~len:(Bytes.length b) <> original)
+
+(* ---------- Internet checksum ---------- *)
+
+let test_inet_known () =
+  (* RFC 1071 §3 example: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2, cksum 220d *)
+  let b = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  check_int "rfc1071 example" 0x220d (Inet_checksum.checksum b ~pos:0 ~len:8)
+
+let test_inet_odd_length () =
+  let b = Bytes.of_string "\x01\x02\x03" in
+  (* words: 0102, 0300 -> sum 0402 -> cksum fbfd *)
+  check_int "odd length" 0xfbfd (Inet_checksum.checksum b ~pos:0 ~len:3)
+
+let prop_inet_valid_after_insert =
+  QCheck2.Test.make ~name:"inserting checksum makes buffer valid"
+    QCheck2.Gen.(string_size (int_range 2 256))
+    (fun s ->
+      let b = Bytes.of_string s in
+      (* zero a 16-bit checksum field at offset 0, compute, insert, check *)
+      Bytes.set_uint16_be b 0 0;
+      let c = Inet_checksum.checksum b ~pos:0 ~len:(Bytes.length b) in
+      Bytes.set_uint16_be b 0 c;
+      (* all-zero data has checksum 0xffff stored; valid() must still hold *)
+      Inet_checksum.valid b ~pos:0 ~len:(Bytes.length b))
+
+let prop_inet_detects_word_change =
+  QCheck2.Test.make ~name:"checksum changes when a word changes"
+    QCheck2.Gen.(triple (string_size (int_range 4 64)) small_nat small_nat)
+    (fun (s, off, delta) ->
+      let b = Bytes.of_string s in
+      let len = Bytes.length b land lnot 1 in
+      let off = off mod (len / 2) * 2 in
+      let before = Inet_checksum.checksum b ~pos:0 ~len in
+      let w = Bytes.get_uint16_be b off in
+      let delta = 1 + (delta mod 0xfffe) in
+      let w' = (w + delta) land 0xffff in
+      QCheck2.assume (w' <> w && not (w lxor w' = 0xffff));
+      Bytes.set_uint16_be b off w';
+      Inet_checksum.checksum b ~pos:0 ~len <> before)
+
+(* ---------- Byte_view ---------- *)
+
+let prop_u16_roundtrip =
+  QCheck2.Test.make ~name:"u16 set/get roundtrip"
+    QCheck2.Gen.(pair (int_bound 0xffff) (int_bound 13))
+    (fun (v, off) ->
+      let b = Bytes.create 16 in
+      Byte_view.set_u16 b off v;
+      Byte_view.get_u16 b off = v)
+
+let prop_u32_roundtrip =
+  QCheck2.Test.make ~name:"u32 set/get roundtrip"
+    QCheck2.Gen.(pair (int_bound 0xffffffff) (int_bound 12))
+    (fun (v, off) ->
+      let b = Bytes.create 16 in
+      Byte_view.set_u32 b off v;
+      Byte_view.get_u32 b off = v)
+
+let test_u32_high_bit () =
+  let b = Bytes.create 4 in
+  Byte_view.set_u32 b 0 0xdeadbeef;
+  check_int "high-bit u32" 0xdeadbeef (Byte_view.get_u32 b 0)
+
+let test_hex_dump () =
+  let b = Bytes.of_string "ABC\x00\xff" in
+  let dump = Byte_view.hex_dump b ~pos:0 ~len:5 in
+  Alcotest.(check bool) "contains hex" true (contains dump "41 42 43 00 ff");
+  Alcotest.(check bool) "contains ascii gutter" true (contains dump "|ABC..|")
+
+(* ---------- Binary_heap ---------- *)
+
+let prop_heap_drains_sorted =
+  QCheck2.Test.make ~name:"heap pop order is sorted"
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = Binary_heap.create ~cmp:compare () in
+      List.iter (Binary_heap.push h) xs;
+      let rec drain acc =
+        match Binary_heap.pop h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_heap_interleaved_model =
+  QCheck2.Test.make ~name:"heap matches sorted-list model under mixed ops"
+    QCheck2.Gen.(list (pair bool int))
+    (fun ops ->
+      let h = Binary_heap.create ~cmp:compare () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Binary_heap.push h v;
+            model := List.sort compare (v :: !model);
+            true
+          end
+          else
+            match (Binary_heap.pop h, !model) with
+            | None, [] -> true
+            | Some x, m :: rest ->
+                model := rest;
+                x = m
+            | _ -> false)
+        ops)
+
+let test_heap_basics () =
+  let h = Binary_heap.create ~cmp:compare () in
+  Alcotest.(check bool) "empty" true (Binary_heap.is_empty h);
+  Binary_heap.push h 3;
+  Binary_heap.push h 1;
+  Binary_heap.push h 2;
+  check_int "len" 3 (Binary_heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Binary_heap.peek h);
+  check_int "pop" 1 (Binary_heap.pop_exn h);
+  check_int "pop" 2 (Binary_heap.pop_exn h);
+  check_int "pop" 3 (Binary_heap.pop_exn h);
+  Alcotest.(check (option int)) "pop empty" None (Binary_heap.pop h)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "nectar_util"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc_known_vectors;
+          Alcotest.test_case "sub-range" `Quick test_crc_range;
+          qtest prop_crc_chaining;
+          qtest prop_crc_detects_single_bit_flip;
+        ] );
+      ( "inet_checksum",
+        [
+          Alcotest.test_case "rfc1071 vector" `Quick test_inet_known;
+          Alcotest.test_case "odd length" `Quick test_inet_odd_length;
+          qtest prop_inet_valid_after_insert;
+          qtest prop_inet_detects_word_change;
+        ] );
+      ( "byte_view",
+        [
+          Alcotest.test_case "u32 high bit" `Quick test_u32_high_bit;
+          Alcotest.test_case "hex dump" `Quick test_hex_dump;
+          qtest prop_u16_roundtrip;
+          qtest prop_u32_roundtrip;
+        ] );
+      ( "binary_heap",
+        [
+          Alcotest.test_case "basics" `Quick test_heap_basics;
+          qtest prop_heap_drains_sorted;
+          qtest prop_heap_interleaved_model;
+        ] );
+    ]
