@@ -296,6 +296,72 @@ let run_info () =
       ("host syscall", us_of Costs.host_syscall_ns);
     ]
 
+(* ---------- vet ---------- *)
+
+module Vet = Nectar_vet.Vet
+
+(* Each entry: display name, whether a normal return means the world
+   quiesced (deployment is cut off mid-traffic, so leftover in-flight
+   state is not a leak), and the scenario body. *)
+let vet_scenarios : (string * bool * (unit -> unit)) list =
+  [
+    ("quickstart", true, Nectar_scenarios.quickstart);
+    ( "rpc-task-queue",
+      true,
+      fun () -> Nectar_scenarios.rpc_task_queue ~range_limit:100_000 () );
+    ( "tcp-file-transfer",
+      true,
+      fun () -> Nectar_scenarios.tcp_file_transfer ~file_bytes:(256 * 1024) ()
+    );
+    ("netdev-vs-offload", true, fun () -> Nectar_scenarios.netdev_vs_offload ());
+    ( "deployment",
+      false,
+      fun () ->
+        (* one TCP pair: three bulk senders over the 8-node mesh congest
+           RMP past its retry budget, which aborts the scenario early *)
+        Nectar_scenarios.deployment ~nodes:8 ~run_for:(Sim_time.ms 50)
+          ~tcp_pairs:1 () );
+    ("integration-mesh", true, fun () -> Nectar_scenarios.integration_mesh ());
+    ("integration-mixed", true, fun () -> Nectar_scenarios.integration_mixed ());
+    ("cli-ping", true, fun () -> run_ping 2 4 64);
+    ("cli-latency-rmp", true, fun () -> run_latency Rmp_p 64 8 false);
+    ("cli-latency-rpc", true, fun () -> run_latency Rpc_p 64 8 false);
+    ("cli-latency-host", true, fun () -> run_latency Dgram_p 64 8 true);
+    ("cli-throughput-rmp", true, fun () -> run_throughput Rmp_t 8192 256);
+    ("cli-throughput-tcp", true, fun () -> run_throughput Tcp_t 8192 256);
+  ]
+
+let run_vet verbose =
+  let failed = ref [] in
+  List.iter
+    (fun (name, quiesced, f) ->
+      Printf.printf "=== vet: %s ===\n%!" name;
+      let result, findings = Vet.run ~quiesced f in
+      (match result with
+      | Ok () -> ()
+      | Error e ->
+          Printf.printf "  scenario raised: %s\n" (Printexc.to_string e));
+      List.iter
+        (fun fi ->
+          if fi.Vet.severity <> Vet.Info || verbose then
+            Printf.printf "  %s\n" (Format.asprintf "%a" Vet.pp_finding fi))
+        findings;
+      let bad =
+        Result.is_error result
+        || List.exists (fun fi -> fi.Vet.severity <> Vet.Info) findings
+      in
+      if bad then failed := name :: !failed;
+      Printf.printf "--- %s: %s\n\n%!" name (if bad then "FINDINGS" else "clean"))
+    vet_scenarios;
+  match List.rev !failed with
+  | [] ->
+      Printf.printf "vet: all %d scenarios clean\n"
+        (List.length vet_scenarios)
+  | bad ->
+      Printf.printf "vet: findings in %d scenario(s): %s\n" (List.length bad)
+        (String.concat ", " bad);
+      exit 1
+
 (* ---------- cmdliner wiring ---------- *)
 
 open Cmdliner
@@ -335,9 +401,22 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Print the hardware cost model")
     Term.(const run_info $ const ())
 
+let vet_cmd =
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ] ~doc:"Also print informational findings.")
+  in
+  Cmd.v
+    (Cmd.info "vet"
+       ~doc:
+         "Run every scenario under the runtime sanitizers (lock order, \
+          two-phase mailbox protocol, buffer lifecycle, interrupt \
+          discipline, starvation); exit nonzero on findings")
+    Term.(const run_vet $ verbose)
+
 let () =
   let doc = "Nectar communication processor simulation scenarios" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "nectar-cli" ~doc)
-          [ ping_cmd; latency_cmd; throughput_cmd; info_cmd ]))
+          [ ping_cmd; latency_cmd; throughput_cmd; info_cmd; vet_cmd ]))

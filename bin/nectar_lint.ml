@@ -1,0 +1,103 @@
+(* nectar-lint: source-level checks for the library tree.
+
+     dune exec bin/nectar_lint.exe [dir ...]     (default: lib)
+
+   Rules:
+   - no Obj.magic anywhere;
+   - no ignored Message.t values (an ignored message is a leaked buffer);
+   - no bare failwith in lib/core or lib/proto (raise a typed exception
+     such as Buffer_heap.Corrupt, or use invalid_arg for caller errors);
+   - every .ml under lib/ has a corresponding .mli.
+
+   Exits 1 when anything is flagged.  The pattern strings below are built
+   by concatenation so the lint never flags its own source. *)
+
+let findings = ref 0
+
+let flag file line msg =
+  incr findings;
+  Printf.printf "%s:%d: %s\n" file line msg
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn > 0 && at 0
+
+let has_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* built in two halves so a self-run stays clean *)
+let pat_obj_magic = "Obj." ^ "magic"
+let pat_ignore = "ign" ^ "ore"
+let pat_msg_t = ": Message" ^ ".t"
+let pat_failwith = "fail" ^ "with"
+
+let no_failwith_dirs = [ "lib/core"; "lib/proto" ]
+let mli_required_dir = "lib"
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let check_source path =
+  let failwith_banned =
+    List.exists (fun d -> has_prefix (d ^ "/") path) no_failwith_dirs
+  in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      if contains line pat_obj_magic then
+        flag path ln (pat_obj_magic ^ " defeats the type system");
+      if contains line pat_ignore && contains line pat_msg_t then
+        flag path ln
+          ("ignored Message" ^ ".t: an unreleased message leaks its buffer");
+      if failwith_banned && contains line pat_failwith then
+        flag path ln
+          (pat_failwith
+         ^ " in the runtime: raise a typed exception or invalid_arg instead"))
+    (read_lines path)
+
+let check_mli path =
+  if
+    has_prefix (mli_required_dir ^ "/") path
+    && Filename.check_suffix path ".ml"
+    && not (Sys.file_exists (path ^ "i"))
+  then flag path 1 "library module without an .mli interface"
+
+let rec walk path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.iter (fun entry ->
+           if not (has_prefix "." entry || entry = "_build") then
+             walk (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then begin
+    check_source path;
+    check_mli path
+  end
+
+let () =
+  let dirs =
+    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | ds -> ds
+  in
+  List.iter
+    (fun d ->
+      if Sys.file_exists d then walk d
+      else begin
+        Printf.printf "nectar-lint: no such directory: %s\n" d;
+        incr findings
+      end)
+    dirs;
+  if !findings > 0 then begin
+    Printf.printf "nectar-lint: %d finding(s)\n" !findings;
+    exit 1
+  end
+  else Printf.printf "nectar-lint: clean (%s)\n" (String.concat " " dirs)

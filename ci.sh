@@ -1,0 +1,8 @@
+#!/bin/sh
+# Full local CI: build everything, run the test suite, then the
+# correctness gate (nectar-lint + every scenario under nectar-vet).
+set -eux
+
+dune build @all
+dune runtest
+dune build @vet

@@ -9,124 +9,4 @@
    neighbours (ICMP), and a few TCP pairs run bulk transfers across the
    trunk — then the per-protocol statistics are reported. *)
 
-open Nectar_sim
-open Nectar_core
-open Nectar_proto
-module Net = Nectar_hub.Network
-module Cab = Nectar_cab.Cab
-
-let nodes = 25
-let run_for = Sim_time.ms 200
-let tcp_pairs = 3
-
-let () =
-  let eng = Engine.create () in
-  let net = Net.create eng ~hubs:2 () in
-  Net.connect_hubs net (0, 15) (1, 15);
-  let stacks =
-    Array.init nodes (fun i ->
-        let cab =
-          Cab.create net
-            ~hub:(if i < 13 then 0 else 1)
-            ~port:(if i < 13 then i else i - 13)
-            ~name:(Printf.sprintf "cab%d" i)
-        in
-        Stack.create (Runtime.create cab) ())
-  in
-  let rng = Rng.create ~seed:1990 in
-
-  (* every node accepts reliable messages on port 700 and drains them *)
-  let rmp_received = Stats.Counter.create () in
-  Array.iter
-    (fun s ->
-      let inbox = Runtime.create_mailbox s.Stack.rt ~name:"inbox" ~port:700 () in
-      ignore
-        (Thread.create (Runtime.cab s.Stack.rt) ~name:"drain" (fun ctx ->
-             while true do
-               let m = Mailbox.begin_get ctx inbox in
-               Stats.Counter.incr rmp_received;
-               Mailbox.end_get ctx m
-             done)))
-    stacks;
-
-  (* chatter: each node sends reliable messages to random peers *)
-  let rmp_sent = Stats.Counter.create () in
-  Array.iteri
-    (fun i s ->
-      let node_rng = Rng.split rng in
-      ignore
-        (Thread.create (Runtime.cab s.Stack.rt)
-           ~name:(Printf.sprintf "chat%d" i) (fun ctx ->
-             while Engine.now eng < run_for do
-               let peer = Rng.int node_rng nodes in
-               if peer <> i then begin
-                 Rmp.send_string ctx s.Stack.rmp ~dst_cab:peer ~dst_port:700
-                   (String.make (16 + Rng.int node_rng 2000) 'c');
-                 Stats.Counter.incr rmp_sent
-               end;
-               Engine.sleep eng (Sim_time.us (500 + Rng.int node_rng 4000))
-             done)))
-    stacks;
-
-  (* ping: each node pings its successor periodically *)
-  let pings_ok = Stats.Counter.create () in
-  Array.iteri
-    (fun i s ->
-      ignore
-        (Thread.create (Runtime.cab s.Stack.rt)
-           ~name:(Printf.sprintf "ping%d" i) (fun ctx ->
-             while Engine.now eng < run_for do
-               (match
-                  Icmp.ping ctx s.Stack.icmp
-                    ~dst:(Ipv4.addr_of_cab ((i + 1) mod nodes))
-                    ()
-                with
-               | Some _ -> Stats.Counter.incr pings_ok
-               | None -> ());
-               Engine.sleep eng (Sim_time.ms 10)
-             done)))
-    stacks;
-
-  (* bulk TCP across the trunk *)
-  let tcp_bytes = Stats.Counter.create () in
-  for p = 0 to tcp_pairs - 1 do
-    let src = stacks.(p) and dst = stacks.(nodes - 1 - p) in
-    Tcp.listen dst.Stack.tcp ~port:80 ~on_accept:(fun conn ->
-        ignore
-          (Thread.create (Runtime.cab dst.Stack.rt) ~name:"sink" (fun ctx ->
-               while true do
-                 let s = Tcp.recv_string ctx conn in
-                 Stats.Counter.add tcp_bytes (String.length s)
-               done)));
-    ignore
-      (Thread.create (Runtime.cab src.Stack.rt) ~name:"bulk" (fun ctx ->
-           let conn =
-             Tcp.connect ctx src.Stack.tcp ~dst:(Stack.addr dst) ~dst_port:80 ()
-           in
-           while Engine.now eng < run_for do
-             Tcp.send ctx conn (String.make 8192 'b')
-           done))
-  done;
-
-  Engine.run ~until:(run_for + Sim_time.ms 100) eng;
-
-  Printf.printf "deployment: %d CABs on 2 HUBs, %s of mixed traffic\n" nodes
-    (Sim_time.to_string run_for);
-  Printf.printf "  RMP messages:   %d sent, %d delivered\n"
-    (Stats.Counter.value rmp_sent)
-    (Stats.Counter.value rmp_received);
-  Printf.printf "  ICMP echoes:    %d answered\n" (Stats.Counter.value pings_ok);
-  Printf.printf "  TCP bulk:       %d KB across the trunk (%d connections)\n"
-    (Stats.Counter.value tcp_bytes / 1024)
-    tcp_pairs;
-  let frames = Net.frames_sent net and bytes = Net.bytes_sent net in
-  Printf.printf "  fabric:         %d frames, %.1f MB total\n" frames
-    (float_of_int bytes /. 1e6);
-  let retx =
-    Array.fold_left (fun acc s -> acc + Rmp.retransmits s.Stack.rmp) 0 stacks
-  in
-  Printf.printf
-    "  RMP retransmissions: %d  (spurious: stop-and-wait RTO under trunk\n\
-    \   congestion from the TCP streams; duplicate suppression kept\n\
-    \   delivery exactly-once)\n"
-    retx
+let () = Nectar_scenarios.deployment ()

@@ -9,91 +9,4 @@
    memory through the mailbox interface.  The paper's §1 claim is a
    factor-of-~5 latency advantage for the latter. *)
 
-open Nectar_sim
-open Nectar_core
-open Nectar_proto
-open Nectar_host
-module Net = Nectar_hub.Network
-
-let rounds = 16
-let payload = String.make 64 'q'
-
-let offload_rtt () =
-  let eng = Engine.create () in
-  let net = Net.create eng ~hubs:1 () in
-  let make i =
-    let cab =
-      Nectar_cab.Cab.create net ~hub:0 ~port:i
-        ~name:(Printf.sprintf "cab%d" i)
-    in
-    let rt = Runtime.create cab in
-    let stack = Stack.create rt () in
-    let host = Host.create eng ~name:(Printf.sprintf "host%d" i) in
-    let drv = Cab_driver.attach host rt in
-    Nectarine.host_node drv stack
-  in
-  let client = make 0 in
-  let server = make 1 in
-  let inbox_c = Nectarine.create_mailbox client ~name:"client-inbox" () in
-  let inbox_s = Nectarine.create_mailbox server ~name:"server-inbox" () in
-  Nectarine.spawn server ~name:"echo" (fun ctx ->
-      for _ = 1 to rounds do
-        let m = Nectarine.receive ctx inbox_s in
-        Nectarine.send ctx server ~dst:(Nectarine.address inbox_c)
-          ~reliable:false m
-      done);
-  let acc = ref 0 in
-  Nectarine.spawn client ~name:"client" (fun ctx ->
-      for i = 1 to rounds do
-        let t0 = Engine.now eng in
-        Nectarine.send ctx client ~dst:(Nectarine.address inbox_s)
-          ~reliable:false payload;
-        ignore (Nectarine.receive ctx inbox_c);
-        if i > 4 then acc := !acc + (Engine.now eng - t0)
-      done);
-  Engine.run eng;
-  !acc / (rounds - 4)
-
-let netdev_rtt () =
-  let eng = Engine.create () in
-  let net = Net.create eng ~hubs:1 () in
-  let make i =
-    let cab =
-      Nectar_cab.Cab.create net ~hub:0 ~port:i
-        ~name:(Printf.sprintf "cab%d" i)
-    in
-    let rt = Runtime.create cab in
-    let host = Host.create eng ~name:(Printf.sprintf "host%d" i) in
-    let drv = Cab_driver.attach host rt in
-    (host, Netdev.create drv ())
-  in
-  let host_c, nd_c = make 0 in
-  let host_s, nd_s = make 1 in
-  Netdev.bind nd_c ~port:9;
-  Netdev.bind nd_s ~port:9;
-  Host.spawn_process host_s ~name:"echo" (fun ctx ->
-      for _ = 1 to rounds do
-        let s = Netdev.recv_datagram ctx nd_s ~port:9 in
-        Netdev.send_datagram ctx nd_s ~dst_cab:0 ~port:9 s
-      done);
-  let acc = ref 0 in
-  Host.spawn_process host_c ~name:"client" (fun ctx ->
-      for i = 1 to rounds do
-        let t0 = Engine.now eng in
-        Netdev.send_datagram ctx nd_c ~dst_cab:1 ~port:9 payload;
-        ignore (Netdev.recv_datagram ctx nd_c ~port:9);
-        if i > 4 then acc := !acc + (Engine.now eng - t0)
-      done);
-  Engine.run eng;
-  !acc / (rounds - 4)
-
-let () =
-  let offload = offload_rtt () in
-  let netdev = netdev_rtt () in
-  Printf.printf "64-byte request-reply round trip, host process to host process:\n";
-  Printf.printf "  protocol offload (mailboxes, section 5.2):  %s\n"
-    (Sim_time.to_string offload);
-  Printf.printf "  network-device mode (sockets, section 5.1): %s\n"
-    (Sim_time.to_string netdev);
-  Printf.printf "  offload advantage: %.1fx  (the paper reports ~5x)\n"
-    (float_of_int netdev /. float_of_int offload)
+let () = Nectar_scenarios.netdev_vs_offload ()

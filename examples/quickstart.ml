@@ -8,73 +8,4 @@
    (RMP) message, and a remote procedure call — printing what each cost in
    simulated time. *)
 
-open Nectar_sim
-open Nectar_core
-open Nectar_proto
-open Nectar_host
-
-let () =
-  (* 1. the fabric: one 16x16 HUB *)
-  let eng = Engine.create () in
-  let net = Nectar_hub.Network.create eng ~hubs:1 () in
-
-  (* 2. two CABs, each with the full protocol stack, each with a host *)
-  let make i =
-    let cab =
-      Nectar_cab.Cab.create net ~hub:0 ~port:i
-        ~name:(Printf.sprintf "cab%d" i)
-    in
-    let rt = Runtime.create cab in
-    let stack = Stack.create rt () in
-    let host = Host.create eng ~name:(Printf.sprintf "host%d" i) in
-    let drv = Cab_driver.attach host rt in
-    Nectarine.host_node drv stack
-  in
-  let alice = make 0 in
-  let bob = make 1 in
-
-  (* 3. Bob: a mailbox for incoming messages, and an RPC service *)
-  let inbox = Nectarine.create_mailbox bob ~name:"bob-inbox" () in
-  Nectarine.serve bob ~port:42 (fun _ctx request ->
-      "you said: " ^ request);
-
-  Nectarine.spawn bob ~name:"bob" (fun ctx ->
-      let m1 = Nectarine.receive ctx inbox in
-      Printf.printf "[%-7s] bob received datagram:  %S\n"
-        (Sim_time.to_string (Engine.now eng)) m1;
-      let m2 = Nectarine.receive ctx inbox in
-      Printf.printf "[%-7s] bob received reliable:  %S\n"
-        (Sim_time.to_string (Engine.now eng)) m2);
-
-  (* 4. Alice: send a datagram, a reliable message, then call Bob's RPC *)
-  Nectarine.spawn alice ~name:"alice" (fun ctx ->
-      let dst = Nectarine.address inbox in
-      (* let both hosts finish their cold start before timing anything *)
-      Engine.sleep eng (Sim_time.ms 2);
-      let t0 = Engine.now eng in
-      Nectarine.send ctx alice ~dst ~reliable:false "hello (fire and forget)";
-      Printf.printf "[%-7s] alice sent datagram (returned after %s)\n"
-        (Sim_time.to_string (Engine.now eng))
-        (Sim_time.to_string (Engine.now eng - t0));
-
-      let t0 = Engine.now eng in
-      Nectarine.send ctx alice ~dst "hello (acknowledged)";
-      Printf.printf "[%-7s] alice sent reliable message in %s\n"
-        (Sim_time.to_string (Engine.now eng))
-        (Sim_time.to_string (Engine.now eng - t0));
-
-      let t0 = Engine.now eng in
-      let reply =
-        Nectarine.call ctx alice
-          ~dst:{ Nectarine.cab = Nectarine.node_cab_id bob; port = 42 }
-          "ping"
-      in
-      Printf.printf "[%-7s] alice rpc -> %S  (round trip %s)\n"
-        (Sim_time.to_string (Engine.now eng))
-        reply
-        (Sim_time.to_string (Engine.now eng - t0)));
-
-  (* 5. run the simulation to quiescence *)
-  Engine.run eng;
-  Printf.printf "simulation quiesced at %s\n"
-    (Sim_time.to_string (Engine.now eng))
+let () = Nectar_scenarios.quickstart ()

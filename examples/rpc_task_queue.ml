@@ -13,127 +13,4 @@
    processor) and the master aggregates the results.  The same job also
    runs serially for the speedup comparison. *)
 
-open Nectar_sim
-open Nectar_core
-open Nectar_proto
-
-let workers = 4
-let range_limit = 400_000
-let task_size = 20_000
-
-(* The "work": count primes in [lo, hi).  The CAB CPU cost is charged per
-   candidate, so the simulation reflects real compute time on a 16.5 MHz
-   processor. *)
-let count_primes (ctx : Ctx.t) lo hi =
-  let count = ref 0 in
-  for n = max 2 lo to hi - 1 do
-    let is_prime = ref (n >= 2) in
-    let d = ref 2 in
-    while !is_prime && !d * !d <= n do
-      if n mod !d = 0 then is_prime := false;
-      incr d
-    done;
-    if !is_prime then incr count
-  done;
-  (* charge ~40 SPARC cycles per candidate tested *)
-  ctx.work (Nectar_cab.Costs.cab_cycles (40 * (hi - lo)));
-  !count
-
-let () =
-  let eng = Engine.create () in
-  let net = Nectar_hub.Network.create eng ~hubs:1 () in
-  let make_stack i =
-    let cab =
-      Nectar_cab.Cab.create net ~hub:0 ~port:i
-        ~name:(Printf.sprintf "cab%d" i)
-    in
-    (* prime-counting tasks run for tens of simulated milliseconds, far
-       beyond the default RPC retry budget *)
-    Stack.create (Runtime.create cab)
-      ~rpc_rto:(Sim_time.ms 50) ~rpc_retries:20 ()
-  in
-  (* node 0: the master's CAB; nodes 1..workers: worker CABs.  Dispatch
-     runs on the master CAB so the per-worker dispatcher tasks issue RPCs
-     concurrently (a host process would serialise on the driver). *)
-  let master_stack = make_stack 0 in
-  let master = Nectarine.cab_node master_stack in
-  let worker_stacks = List.init workers (fun i -> make_stack (i + 1)) in
-
-  (* each worker CAB serves "count primes in [lo,hi)" requests *)
-  let tasks_done = Array.make (workers + 1) 0 in
-  List.iteri
-    (fun i stack ->
-      Reqresp.register_server stack.Stack.reqresp ~port:7
-        ~mode:Reqresp.Thread_server (fun ctx request ->
-          Scanf.sscanf request "%d %d" (fun lo hi ->
-              let c = count_primes ctx lo hi in
-              tasks_done.(i + 1) <- tasks_done.(i + 1) + 1;
-              string_of_int c)))
-    worker_stacks;
-
-  (* the master: a task queue drained by one forwarding process per worker *)
-  let tasks = Queue.create () in
-  let rec fill lo =
-    if lo < range_limit then begin
-      Queue.add (lo, min range_limit (lo + task_size)) tasks;
-      fill (lo + task_size)
-    end
-  in
-  fill 0;
-  let n_tasks = Queue.length tasks in
-  let total = ref 0 in
-  let finished = ref 0 in
-  let t_start = ref 0 and t_end = ref 0 in
-  List.iteri
-    (fun i stack ->
-      ignore stack;
-      Nectarine.spawn master ~name:(Printf.sprintf "dispatch-%d" i)
-        (fun ctx ->
-          if i = 0 then t_start := Engine.now eng;
-          let continue_dispatch = ref true in
-          while !continue_dispatch do
-            match Queue.take_opt tasks with
-            | None -> continue_dispatch := false
-            | Some (lo, hi) ->
-                let reply =
-                  Nectarine.call ctx master
-                    ~dst:{ Nectarine.cab = i + 1; port = 7 }
-                    (Printf.sprintf "%d %d" lo hi)
-                in
-                total := !total + int_of_string reply;
-                incr finished;
-                if !finished = n_tasks then t_end := Engine.now eng
-          done))
-    worker_stacks;
-  Engine.run eng;
-  let parallel_ns = !t_end - !t_start in
-
-  (* serial reference: the same job on a single worker CAB *)
-  let serial_ns =
-    let eng = Engine.create () in
-    let net = Nectar_hub.Network.create eng ~hubs:1 () in
-    let cab = Nectar_cab.Cab.create net ~hub:0 ~port:0 ~name:"solo" in
-    ignore (Runtime.create cab);
-    let took = ref 0 in
-    ignore
-      (Thread.create cab ~name:"solo" (fun ctx ->
-           let count = ref 0 in
-           let lo = ref 0 in
-           while !lo < range_limit do
-             count := !count + count_primes ctx !lo (!lo + task_size);
-             lo := !lo + task_size
-           done;
-           took := Engine.now eng));
-    Engine.run eng;
-    !took
-  in
-
-  Printf.printf "prime count in [0, %d): %d\n" range_limit !total;
-  Printf.printf "tasks: %d of %d candidates each\n" n_tasks task_size;
-  Printf.printf "serial on one CAB:   %s\n" (Sim_time.to_string serial_ns);
-  Printf.printf "parallel on %d CABs: %s  (speedup %.2fx)\n" workers
-    (Sim_time.to_string parallel_ns)
-    (float_of_int serial_ns /. float_of_int parallel_ns);
-  Array.iteri
-    (fun i n -> if i > 0 then Printf.printf "  worker %d served %d tasks\n" i n)
-    tasks_done
+let () = Nectar_scenarios.rpc_task_queue ()

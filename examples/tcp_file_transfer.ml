@@ -9,90 +9,4 @@
    TCP retransmission repairs the stream.  The receiver verifies content
    integrity with a digest. *)
 
-open Nectar_sim
-open Nectar_core
-open Nectar_proto
-module Net = Nectar_hub.Network
-
-let file_bytes = 1024 * 1024
-let mtu = 1500
-let mss = 4096
-let corrupt_every = 211 (* frames *)
-
-let digest_string acc s =
-  String.fold_left (fun a c -> ((a * 131) + Char.code c) land 0xffffff) acc s
-
-let () =
-  let eng = Engine.create () in
-  (* two HUBs joined by a trunk; one CAB on each *)
-  let net = Net.create eng ~hubs:2 () in
-  Net.connect_hubs net (0, 15) (1, 15);
-  let make hub =
-    let cab =
-      Nectar_cab.Cab.create net ~hub ~port:0
-        ~name:(Printf.sprintf "cab-hub%d" hub)
-    in
-    Stack.create (Runtime.create cab) ~mtu ~tcp_mss:mss ()
-  in
-  let src = make 0 in
-  let dst = make 1 in
-  Printf.printf "route %d -> %d via ports %s\n" (Stack.node_id src)
-    (Stack.node_id dst)
-    (String.concat "," (List.map string_of_int
-         (Net.route net ~src:(Stack.node_id src) ~dst:(Stack.node_id dst))));
-
-  (* corrupt every Nth frame: the CAB hardware CRC drops it, transports
-     recover *)
-  let frames = ref 0 in
-  Net.set_fault_hook net
-    (Some (fun _ ->
-         incr frames;
-         if !frames mod corrupt_every = 0 then `Corrupt else `Deliver));
-
-  let sent_digest = ref 0 and recv_digest = ref 0 in
-  let received = ref 0 and finished_at = ref 0 in
-  Tcp.listen dst.Stack.tcp ~port:2049 ~on_accept:(fun conn ->
-      ignore
-        (Thread.create (Runtime.cab dst.Stack.rt) ~name:"file-sink"
-           (fun ctx ->
-             while !received < file_bytes do
-               let chunk = Tcp.recv_string ctx conn in
-               recv_digest := digest_string !recv_digest chunk;
-               received := !received + String.length chunk
-             done;
-             finished_at := Engine.now eng)));
-  let started_at = ref 0 in
-  ignore
-    (Thread.create (Runtime.cab src.Stack.rt) ~name:"file-source" (fun ctx ->
-         let conn =
-           Tcp.connect ctx src.Stack.tcp ~dst:(Stack.addr dst) ~dst_port:2049
-             ()
-         in
-         started_at := Engine.now eng;
-         let sent = ref 0 in
-         while !sent < file_bytes do
-           let n = min 16384 (file_bytes - !sent) in
-           let chunk = String.init n (fun i -> Char.chr ((!sent + i) land 0xff)) in
-           sent_digest := digest_string !sent_digest chunk;
-           Tcp.send ctx conn chunk;
-           sent := !sent + n
-         done;
-         Tcp.close ctx conn));
-  Engine.run eng;
-
-  let elapsed = !finished_at - !started_at in
-  Printf.printf "transferred %d KB in %s: %.1f Mbit/s\n" (file_bytes / 1024)
-    (Sim_time.to_string elapsed)
-    (Stats.Throughput.mbit_per_s ~bytes_moved:file_bytes ~elapsed);
-  Printf.printf "content digest: sent %06x, received %06x -> %s\n"
-    !sent_digest !recv_digest
-    (if !sent_digest = !recv_digest then "INTACT" else "CORRUPT");
-  Printf.printf "tcp segments: %d out, %d retransmitted\n"
-    (Tcp.segments_out src.Stack.tcp)
-    (Tcp.retransmissions src.Stack.tcp);
-  Printf.printf "ip fragments sent: %d, datagrams reassembled: %d\n"
-    (Ipv4.fragments_out src.Stack.ip)
-    (Ipv4.reassembled dst.Stack.ip);
-  Printf.printf "frames dropped by hardware CRC: %d (of %d on the wire)\n"
-    (Datalink.drops_crc dst.Stack.dl + Datalink.drops_crc src.Stack.dl)
-    !frames
+let () = Nectar_scenarios.tcp_file_transfer ()

@@ -37,7 +37,13 @@ let post t ~name fn =
   Engine.spawn t.eng ~name:(t.iname ^ ".irq." ^ name) (fun () ->
       Resource.with_held t.serial (fun () ->
           work t t.dispatch_ns;
-          fn t))
+          if Vet_probe.installed () then begin
+            Vet_probe.interrupt_enter t.eng ~name:(t.iname ^ "." ^ name);
+            Fun.protect
+              ~finally:(fun () -> Vet_probe.interrupt_exit t.eng)
+              (fun () -> fn t)
+          end
+          else fn t))
 
 let posted t = Stats.Counter.value t.count
 let ctx_engine (t : ctx) = t.eng

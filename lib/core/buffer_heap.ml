@@ -1,6 +1,11 @@
 let align = 4
 
+exception Corrupt of string
+
+let corrupt msg = raise (Corrupt ("Buffer_heap: " ^ msg))
+
 type t = {
+  uid : int;
   base : int;
   size : int;
   mutable free_list : (int * int) list; (* (offset, length), sorted, coalesced *)
@@ -8,15 +13,23 @@ type t = {
   mutable allocated : int;
 }
 
+let uid_counter = ref 0
+
 let create ~base ~size =
   if base < 0 || size <= 0 then invalid_arg "Buffer_heap.create";
+  incr uid_counter;
   {
+    uid = !uid_counter;
     base;
     size;
     free_list = [ (base, size) ];
     live = Hashtbl.create 64;
     allocated = 0;
   }
+
+let uid t = t.uid
+let base t = t.base
+let size t = t.size
 
 let round n = (n + align - 1) / align * align
 
@@ -30,6 +43,7 @@ let alloc t n =
         t.free_list <- List.rev_append acc (remainder @ rest);
         Hashtbl.replace t.live off n;
         t.allocated <- t.allocated + n;
+        Vet_hook.heap_alloc ~heap:t.uid ~off ~len:n;
         Some off
     | block :: rest -> first_fit (block :: acc) rest
   in
@@ -37,8 +51,11 @@ let alloc t n =
 
 let free t off =
   match Hashtbl.find_opt t.live off with
-  | None -> invalid_arg "Buffer_heap.free: not a live allocation"
+  | None ->
+      Vet_hook.heap_free ~heap:t.uid ~off ~live:false;
+      invalid_arg "Buffer_heap.free: not a live allocation"
   | Some len ->
+      Vet_hook.heap_free ~heap:t.uid ~off ~live:true;
       Hashtbl.remove t.live off;
       t.allocated <- t.allocated - len;
       (* insert sorted, coalescing with neighbours *)
@@ -75,19 +92,17 @@ let check_invariants t =
   in
   let sorted = List.sort compare regions in
   let rec walk expected = function
-    | [] ->
-        if expected <> t.base + t.size then
-          failwith "Buffer_heap: coverage gap at end"
+    | [] -> if expected <> t.base + t.size then corrupt "coverage gap at end"
     | (off, len) :: rest ->
-        if off <> expected then failwith "Buffer_heap: gap or overlap";
-        if len <= 0 then failwith "Buffer_heap: empty region";
+        if off <> expected then corrupt "gap or overlap";
+        if len <= 0 then corrupt "empty region";
         walk (off + len) rest
   in
   walk t.base sorted;
   (* free list must be sorted and fully coalesced *)
   let rec check_free = function
     | (o1, l1) :: ((o2, _) :: _ as rest) ->
-        if o1 + l1 >= o2 then failwith "Buffer_heap: free list not coalesced";
+        if o1 + l1 >= o2 then corrupt "free list not coalesced";
         check_free rest
     | _ -> ()
   in

@@ -7,7 +7,17 @@
 
 type t
 
+exception Corrupt of string
+(** Raised by {!check_invariants} when the heap's internal structure is
+    inconsistent (overlap, coverage gap, uncoalesced free list). *)
+
 val create : base:int -> size:int -> t
+
+val uid : t -> int
+(** Unique id of this heap instance (for the vet checkers' event stream). *)
+
+val base : t -> int
+val size : t -> int
 
 val alloc : t -> int -> int option
 (** [alloc t n] returns the offset of a fresh [n]-byte block, or [None] when
@@ -29,4 +39,5 @@ val largest_free_block : t -> int
 
 val check_invariants : t -> unit
 (** Validate internal consistency (no overlap, full coverage); used by the
-    property tests.  Raises [Failure] on corruption. *)
+    property tests and the vet heap sanitizer.  Raises {!Corrupt} on
+    corruption. *)

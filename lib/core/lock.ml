@@ -1,20 +1,40 @@
 open Nectar_sim
 
 module Mutex = struct
-  type t = { res : Resource.t; mutable held_by : string option }
+  type t = {
+    res : Resource.t;
+    mutable held_by : string option;
+    lid : int;
+    lname : string;
+  }
 
-  let create eng ~name = { res = Resource.create eng ~name (); held_by = None }
+  let lid_counter = ref 0
+
+  let create eng ~name =
+    incr lid_counter;
+    {
+      res = Resource.create eng ~name ();
+      held_by = None;
+      lid = !lid_counter;
+      lname = name;
+    }
+
+  let name t = t.lname
 
   let lock (ctx : Ctx.t) t =
     Ctx.assert_may_block ctx "Mutex.lock";
+    Vet_hook.lock_attempt ctx ~lock:t.lid ~name:t.lname
+      ~contended:(Resource.in_use t.res > 0);
     ctx.work Nectar_cab.Costs.sync_op_ns;
     Resource.acquire t.res;
-    t.held_by <- Some ctx.ctx_name
+    t.held_by <- Some ctx.ctx_name;
+    Vet_hook.lock_acquired ctx ~lock:t.lid ~name:t.lname
 
   let unlock (ctx : Ctx.t) t =
     ctx.work Nectar_cab.Costs.sync_op_ns;
     t.held_by <- None;
-    Resource.release t.res
+    Resource.release t.res;
+    Vet_hook.lock_released ctx ~lock:t.lid ~name:t.lname
 
   let with_lock ctx t f =
     lock ctx t;
@@ -30,9 +50,9 @@ module Mutex = struct
 end
 
 module Condvar = struct
-  type t = { q : Waitq.t }
+  type t = { q : Waitq.t; cname : string }
 
-  let create eng ~name = { q = Waitq.create eng ~name () }
+  let create eng ~name = { q = Waitq.create eng ~name (); cname = name }
 
   (* Entering the wait queue and releasing the mutex must be atomic (no
      suspension point between the caller's predicate check and the queue
@@ -44,12 +64,16 @@ module Condvar = struct
 
   let wait (ctx : Ctx.t) t m =
     Ctx.assert_may_block ctx "Condvar.wait";
+    Vet_hook.cond_wait ctx ~cond:t.cname ~lock:m.Mutex.lid
+      ~lock_name:m.Mutex.lname;
     Waitq.wait_releasing t.q ~release:(release_raw m);
     ctx.work Nectar_cab.Costs.sync_op_ns;
     Mutex.lock ctx m
 
   let wait_timeout (ctx : Ctx.t) t m span =
     Ctx.assert_may_block ctx "Condvar.wait_timeout";
+    Vet_hook.cond_wait ctx ~cond:t.cname ~lock:m.Mutex.lid
+      ~lock_name:m.Mutex.lname;
     let r = Waitq.wait_timeout_releasing t.q ~release:(release_raw m) span in
     ctx.work Nectar_cab.Costs.sync_op_ns;
     Mutex.lock ctx m;

@@ -9,6 +9,7 @@ module Mutex : sig
   type t
 
   val create : Nectar_sim.Engine.t -> name:string -> t
+  val name : t -> string
   val lock : Ctx.t -> t -> unit
   val unlock : Ctx.t -> t -> unit
   val with_lock : Ctx.t -> t -> (unit -> 'a) -> 'a

@@ -23,11 +23,16 @@ type t = {
 
 let create eng ~heap ~mem ~name ?(byte_limit = 64 * 1024)
     ?(cached_buffer_bytes = 128) ?upcall () =
+  if Vet_hook.installed () then
+    Vet_hook.heap_attach ~heap:(Buffer_heap.uid heap) ~name:"cab-heap" ~mem
+      ~base:(Buffer_heap.base heap) ~size:(Buffer_heap.size heap);
   let cache =
     if cached_buffer_bytes <= 0 then None
     else
       match Buffer_heap.alloc heap cached_buffer_bytes with
-      | Some coff -> Some { coff; clen = cached_buffer_bytes; busy = false }
+      | Some coff ->
+          Vet_hook.heap_persistent ~heap:(Buffer_heap.uid heap) ~off:coff;
+          Some { coff; clen = cached_buffer_bytes; busy = false }
       | None -> invalid_arg "Mailbox.create: heap exhausted"
   in
   {
@@ -77,7 +82,7 @@ let take_buffer t (ctx : Ctx.t) n =
   | Some c when (not c.busy) && n <= c.clen ->
       c.busy <- true;
       Stats.Counter.incr t.cache_hit_count;
-      Some (c.coff, c.clen, fun () -> c.busy <- false)
+      Some (c.coff, c.clen, (fun () -> c.busy <- false), true)
   | _ -> (
       ctx.work Costs.heap_alloc_ns;
       match Buffer_heap.alloc t.heap (max 4 n) with
@@ -85,7 +90,8 @@ let take_buffer t (ctx : Ctx.t) n =
           Some
             ( off,
               Buffer_heap.block_size t.heap off,
-              fun () -> Buffer_heap.free t.heap off )
+              (fun () -> Buffer_heap.free t.heap off),
+              false )
       | None -> None)
 
 let try_begin_put (ctx : Ctx.t) t n =
@@ -95,10 +101,14 @@ let try_begin_put (ctx : Ctx.t) t n =
   else
     match take_buffer t ctx n with
     | None -> None
-    | Some (buf_off, buf_len, free_buffer) ->
+    | Some (buf_off, buf_len, free_buffer, cached) ->
         t.in_use <- t.in_use + buf_len;
         let msg = Message.make ~mem:t.mem ~buf_off ~buf_len ~len:n ~free_buffer in
         install t msg;
+        Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:t.mname
+          (Vet_hook.Begin_put
+             { heap = Buffer_heap.uid t.heap; off = buf_off; len = buf_len;
+               cached });
         Some msg
 
 let begin_put ctx t n =
@@ -109,6 +119,7 @@ let begin_put ctx t n =
     match try_begin_put ctx t n with
     | Some msg -> msg
     | None ->
+        Vet_hook.blocking ctx ~op:("Mailbox.begin_put " ^ t.mname);
         Waitq.wait t.space_q;
         attempt ()
   in
@@ -126,26 +137,34 @@ let queue_message (ctx : Ctx.t) t (msg : Message.t) =
   | None -> ()
 
 let end_put (ctx : Ctx.t) t (msg : Message.t) =
+  Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:t.mname Vet_hook.End_put;
   if msg.state <> Message.Writing then
     invalid_arg "Mailbox.end_put: message not in writing state";
   ctx.work Costs.mbox_end_put_ns;
   queue_message ctx t msg
 
+(* Shared terminal path of [dispose] and [abort_put]; the caller has
+   already reported the event and validated the state. *)
+let release_held (msg : Message.t) =
+  msg.state <- Message.Freed;
+  msg.on_disown msg;
+  msg.free_buffer ()
+
 let dispose (ctx : Ctx.t) (msg : Message.t) =
+  Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:"" Vet_hook.Dispose;
   (match msg.state with
   | Message.Writing | Message.Reading -> ()
   | Message.Queued | Message.Freed ->
       invalid_arg "Mailbox.dispose: message not held by the caller");
   ignore ctx;
-  msg.state <- Message.Freed;
-  msg.on_disown msg;
-  msg.free_buffer ()
+  release_held msg
 
 let abort_put (ctx : Ctx.t) t (msg : Message.t) =
+  Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:t.mname
+    Vet_hook.Abort_put;
   if msg.state <> Message.Writing then
     invalid_arg "Mailbox.abort_put: message not in writing state";
-  ignore t;
-  dispose ctx msg
+  release_held msg
 
 let try_begin_get (ctx : Ctx.t) t =
   ctx.work Costs.mbox_begin_get_ns;
@@ -154,6 +173,8 @@ let try_begin_get (ctx : Ctx.t) t =
   | Some msg ->
       msg.state <- Message.Reading;
       Stats.Counter.incr t.get_count;
+      Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:t.mname
+        Vet_hook.Begin_get;
       Some msg
 
 let begin_get ctx t =
@@ -162,17 +183,21 @@ let begin_get ctx t =
     match try_begin_get ctx t with
     | Some msg -> msg
     | None ->
+        Vet_hook.blocking ctx ~op:("Mailbox.begin_get " ^ t.mname);
         Waitq.wait t.data_q;
         attempt ()
   in
   attempt ()
 
 let end_get ctx (msg : Message.t) =
+  Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:"" Vet_hook.End_get;
   if msg.state <> Message.Reading then
     invalid_arg "Mailbox.end_get: message not held by a reader";
   msg.on_end_get ctx msg
 
 let enqueue (ctx : Ctx.t) (msg : Message.t) dst =
+  Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:dst.mname
+    (Vet_hook.Enqueue { dst = dst.mname });
   (match msg.state with
   | Message.Reading | Message.Writing -> ()
   | Message.Queued | Message.Freed ->

@@ -1,6 +1,7 @@
 type state = Writing | Queued | Reading | Freed
 
 type t = {
+  uid : int;
   mem : Bytes.t;
   buf_off : int;
   buf_len : int;
@@ -12,9 +13,13 @@ type t = {
   mutable on_disown : t -> unit;
 }
 
+let uid_counter = ref 0
+
 let make ~mem ~buf_off ~buf_len ~len ~free_buffer =
   if len < 0 || len > buf_len then invalid_arg "Message.make";
+  incr uid_counter;
   {
+    uid = !uid_counter;
     mem;
     buf_off;
     buf_len;
@@ -27,6 +32,12 @@ let make ~mem ~buf_off ~buf_len ~len ~free_buffer =
   }
 
 let length t = t.len
+
+let state_name = function
+  | Writing -> "writing"
+  | Queued -> "queued"
+  | Reading -> "reading"
+  | Freed -> "freed"
 
 let adjust_head t n =
   if n < 0 || n > t.len then invalid_arg "Message.adjust_head";
@@ -43,6 +54,15 @@ let push_head t n =
   t.len <- t.len + n
 
 let bounds t pos n =
+  (* A message's data may only be touched while the caller holds it
+     (writing or reading); access while queued is the use-after-enqueue
+     bug on the zero-copy path, access while freed a use-after-free. *)
+  (if Vet_hook.installed () then
+     match t.state with
+     | Writing | Reading -> ()
+     | Queued | Freed ->
+         Vet_hook.msg_access ~uid:t.uid ~state:(state_name t.state)
+           ~op:"data access");
   if pos < 0 || n < 0 || pos + n > t.len then
     invalid_arg "Message: access outside message data"
 

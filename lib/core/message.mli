@@ -14,6 +14,7 @@
 type state = Writing | Queued | Reading | Freed
 
 type t = {
+  uid : int;  (** unique per message, for the vet checkers' event stream *)
   mem : Bytes.t;  (** the CAB data-memory region backing this message *)
   buf_off : int;  (** underlying buffer start *)
   buf_len : int;  (** underlying buffer length *)
@@ -39,6 +40,9 @@ val make :
 (** Ownership callbacks start as no-ops; the owning mailbox installs them. *)
 
 val length : t -> int
+
+val state_name : state -> string
+(** Lower-case name, for diagnostics. *)
 
 val adjust_head : t -> int -> unit
 (** Drop [n] bytes from the front, in place. *)

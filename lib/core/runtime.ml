@@ -12,11 +12,18 @@ type t = {
 }
 
 let create cab =
+  let rheap =
+    Buffer_heap.create ~base:0 ~size:(Memory.data_bytes (Cab.memory cab))
+  in
+  if Vet_hook.installed () then
+    Vet_hook.heap_attach ~heap:(Buffer_heap.uid rheap)
+      ~name:("data-heap:" ^ Cab.name cab)
+      ~mem:(Memory.data (Cab.memory cab))
+      ~base:0
+      ~size:(Memory.data_bytes (Cab.memory cab));
   {
     rcab = cab;
-    rheap =
-      Buffer_heap.create ~base:0
-        ~size:(Memory.data_bytes (Cab.memory cab));
+    rheap;
     ports = Hashtbl.create 16;
     opcodes = Hashtbl.create 16;
     host_notifier = None;

@@ -36,6 +36,7 @@ let read ctx t =
     match try_read ctx t with
     | Some v -> v
     | None ->
+        Vet_hook.blocking ctx ~op:("Sync.read " ^ t.sname);
         Waitq.wait t.wq;
         attempt ()
   in

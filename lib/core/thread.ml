@@ -56,6 +56,7 @@ let is_finished t = t.finished
 let join (caller : Ctx.t) t =
   Ctx.assert_may_block caller "Thread.join";
   while not t.finished do
+    Vet_hook.blocking caller ~op:("Thread.join " ^ t.tname);
     Waitq.wait t.finish_q
   done
 

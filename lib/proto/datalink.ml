@@ -17,6 +17,7 @@ type t = {
   routes : (int, int list) Hashtbl.t;
   mutable no_buffer : int;
   mutable bad_proto : int;
+  mutable bad_len : int;
   mutable crc_drops : int;
   mutable frames_in_count : int;
   mutable frames_out_count : int;
@@ -31,11 +32,21 @@ let rx_frame t ictx pending =
   let rx = Cab.rx t.cab in
   let hdr_bytes = Rx.read_bytes rx pending Wire.dl_header_bytes in
   let hdr = Wire.decode_dl hdr_bytes ~pos:0 in
-  match Hashtbl.find_opt t.bindings hdr.Wire.proto with
-  | None ->
-      t.bad_proto <- t.bad_proto + 1;
-      Rx.discard rx pending
-  | Some b -> (
+  if hdr.Wire.payload_len <> Rx.total pending - Wire.dl_header_bytes then begin
+    (* Never size a receive buffer from the wire's claim alone: the DMA
+       drains the whole physical frame, so a header whose length field
+       disagrees with the frame would overrun the buffer.  Such frames are
+       malformed (e.g. a transmitter snapshotting a recycled buffer) and
+       are dropped whole, like a CRC failure. *)
+    t.bad_len <- t.bad_len + 1;
+    Rx.discard rx pending
+  end
+  else
+    match Hashtbl.find_opt t.bindings hdr.Wire.proto with
+    | None ->
+        t.bad_proto <- t.bad_proto + 1;
+        Rx.discard rx pending
+    | Some b -> (
       match Mailbox.try_begin_put ctx b.input_mailbox hdr.Wire.payload_len with
       | None ->
           t.no_buffer <- t.no_buffer + 1;
@@ -80,6 +91,7 @@ let create rt =
       routes = Hashtbl.create 32;
       no_buffer = 0;
       bad_proto = 0;
+      bad_len = 0;
       crc_drops = 0;
       frames_in_count = 0;
       frames_out_count = 0;
@@ -152,6 +164,7 @@ let output (ctx : Ctx.t) t ~dst_cab ~proto ~msg ~on_done =
 
 let drops_no_buffer t = t.no_buffer
 let drops_bad_proto t = t.bad_proto
+let drops_bad_len t = t.bad_len
 let drops_crc t = t.crc_drops
 let frames_in t = t.frames_in_count
 let frames_out t = t.frames_out_count

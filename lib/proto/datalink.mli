@@ -61,6 +61,13 @@ val output :
 
 val drops_no_buffer : t -> int
 val drops_bad_proto : t -> int
+
+val drops_bad_len : t -> int
+(** Frames whose datalink header claimed a payload length different from
+    the physical frame length.  Receive buffers are sized from the header
+    claim, so trusting it would let a malformed frame overrun its buffer;
+    such frames are dropped whole. *)
+
 val drops_crc : t -> int
 val frames_in : t -> int
 val frames_out : t -> int

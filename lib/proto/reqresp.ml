@@ -225,17 +225,27 @@ let call (ctx : Ctx.t) t ~dst_cab ~dst_port request =
   in
   Message.write_string msg header_bytes request;
   write_header msg ~ty:ty_request ~dst_port ~txn;
+  (* As in [Rmp.send], the request buffer must outlive every queued copy of
+     the frame: the tx DMA snapshots the bytes only when the transmit queue
+     drains down to the frame, so disposing at response time while a
+     retransmission is still queued would put recycled memory on the wire. *)
+  let queued = ref 0 and caller_done = ref false in
+  let release ctx = if !caller_done && !queued = 0 then Mailbox.dispose ctx msg in
   let finish () =
     Hashtbl.remove t.pending_calls txn;
-    Mailbox.dispose ctx msg
+    caller_done := true;
+    release ctx
   in
   let rec attempt tries =
     if tries > t.max_retries then begin
       finish ();
       raise (Call_timeout { dst_cab; dst_port })
     end;
+    incr queued;
     Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_reqresp ~msg
-      ~on_done:(fun _ _ -> ());
+      ~on_done:(fun ctx _ ->
+        decr queued;
+        release ctx);
     let rec await () =
       match p.response with
       | Some r -> r

@@ -151,16 +151,31 @@ let send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
       c.next_seq <- seq + 1;
       Message.push_head msg header_bytes;
       write_header msg ~ty:ty_data ~dst_port ~seq;
+      (* The tx DMA reads the frame out of the buffer only when the transmit
+         queue drains down to it, so the buffer must outlive every queued
+         copy — not merely the ACK: under congestion the ACK for an earlier
+         copy can arrive while a retransmission is still queued.  Disposing
+         then would let the allocator recycle the bytes under the queued
+         frame, and the eventual snapshot would carry another message's
+         data onto the wire. *)
+      let queued = ref 0 and sender_done = ref false in
+      let release ctx =
+        if !sender_done && !queued = 0 then Mailbox.dispose ctx msg
+      in
       let rec attempt tries =
         if tries > t.max_retries then begin
-          Mailbox.dispose ctx msg;
+          sender_done := true;
+          release ctx;
           raise (Delivery_timeout { dst_cab; dst_port })
         end;
         (* [Datalink.output] restores the message to this view after queueing
            the frame, so a retransmission simply sends the same message. *)
         if tries > 0 then t.retx_count <- t.retx_count + 1;
+        incr queued;
         Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_rmp ~msg
-          ~on_done:(fun _ _ -> ());
+          ~on_done:(fun ctx _ ->
+            decr queued;
+            release ctx);
         let rec await () =
           if c.acked >= seq then ()
           else
@@ -171,7 +186,8 @@ let send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
         await ()
       in
       attempt 0;
-      Mailbox.dispose ctx msg)
+      sender_done := true;
+      release ctx)
 
 let send_string ctx t ~dst_cab ~dst_port s =
   let msg = alloc ctx t (String.length s) in

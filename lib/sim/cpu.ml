@@ -11,6 +11,7 @@ type request = {
   priority : int;
   atomic : bool;
   mutable remaining : Sim_time.span; (* includes any pending switch-in cost *)
+  mutable queued_at : Sim_time.t; (* last time it entered the ready queue *)
   resume : unit -> unit;
   seq : int;
 }
@@ -67,6 +68,8 @@ let rec start_next t =
 
 and start t req =
   let now = Engine.now t.eng in
+  Vet_probe.cpu_wait ~cpu:t.cname ~owner:req.req_owner.oname
+    ~priority:req.priority ~waited:(now - req.queued_at);
   if t.last_owner <> req.req_owner.id then begin
     if not req.req_owner.transparent then begin
       if t.last_owner >= 0 then t.switch_count <- t.switch_count + 1;
@@ -103,6 +106,7 @@ let maybe_preempt t incoming =
         (* Guard against a zero-length residue when preempted exactly at
            completion time (the completion event fires separately). *)
         if cur.remaining < 0 then cur.remaining <- 0;
+        cur.queued_at <- Engine.now t.eng;
         Nectar_util.Binary_heap.push t.ready cur;
         t.current <- None;
         true
@@ -120,6 +124,7 @@ let consume t owner ~priority ?(atomic = false) span =
             priority;
             atomic;
             remaining = span;
+            queued_at = Engine.now t.eng;
             resume;
             seq = t.next_seq;
           }

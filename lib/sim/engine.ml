@@ -9,7 +9,14 @@ type t = {
   mutable clock : Sim_time.t;
   mutable next_seq : int;
   queue : event Nectar_util.Binary_heap.t;
+  mutable running : (int * string) option;
+      (* (pid, name) of the process currently executing, for context
+         tracking by the vet checkers; None inside timer callbacks *)
 }
+
+(* Process ids are globally unique (not per engine) so checkers observing
+   several engines in one program never see a collision. *)
+let pid_counter = ref 0
 
 type timer = event
 
@@ -31,9 +38,12 @@ let create () =
     clock = Sim_time.zero;
     next_seq = 0;
     queue = Nectar_util.Binary_heap.create ~cmp:compare_events ();
+    running = None;
   }
 
 let now t = t.clock
+let current_pid t = Option.map fst t.running
+let current_process t = Option.map snd t.running
 
 let nothing () = ()
 
@@ -61,28 +71,42 @@ type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
 let suspend register = Effect.perform (Suspend register)
 
 let spawn t ?(name = "proc") f =
+  incr pid_counter;
+  let pid = !pid_counter in
+  (* Every slice of this process's execution (initial body, each resumption)
+     runs with [t.running] set to its identity; suspension returns normally
+     through the effect handler, so the finally always restores. *)
+  let labelled g =
+    let saved = t.running in
+    t.running <- Some (pid, name);
+    Fun.protect ~finally:(fun () -> t.running <- saved) g
+  in
   let run_body () =
     let open Effect.Deep in
-    match_with f ()
-      {
-        retc = (fun () -> ());
-        exnc = (fun e -> raise (Process_failure (name, e)));
-        effc =
-          (fun (type a) (eff : a Effect.t) ->
-            match eff with
-            | Suspend register ->
-                Some
-                  (fun (k : (a, _) continuation) ->
-                    let resumed = ref false in
-                    let resume v =
-                      if !resumed then
-                        failwith ("Engine: double resume of process " ^ name);
-                      resumed := true;
-                      ignore (at t t.clock (fun () -> continue k v))
-                    in
-                    register resume)
-            | _ -> None);
-      }
+    labelled (fun () ->
+        match_with f ()
+          {
+            retc = (fun () -> ());
+            exnc = (fun e -> raise (Process_failure (name, e)));
+            effc =
+              (fun (type a) (eff : a Effect.t) ->
+                match eff with
+                | Suspend register ->
+                    Some
+                      (fun (k : (a, _) continuation) ->
+                        let resumed = ref false in
+                        let resume v =
+                          if !resumed then
+                            failwith
+                              ("Engine: double resume of process " ^ name);
+                          resumed := true;
+                          ignore
+                            (at t t.clock (fun () ->
+                                 labelled (fun () -> continue k v)))
+                        in
+                        register resume)
+                | _ -> None);
+          })
   in
   ignore (at t t.clock run_body)
 

@@ -20,6 +20,15 @@ val create : unit -> t
 
 val now : t -> Sim_time.t
 
+val current_pid : t -> int option
+(** Unique id of the currently executing process, or [None] when running
+    inside a timer callback (or outside [run] entirely).  Pids are unique
+    across all engines in the program; the vet checkers use them to
+    attribute lock and mailbox operations to an actor. *)
+
+val current_process : t -> string option
+(** Name of the currently executing process (see {!current_pid}). *)
+
 (** {1 Timers} *)
 
 type timer

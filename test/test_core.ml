@@ -16,10 +16,13 @@ let nonblocking_ctx eng : Ctx.t =
 let test_heap_alloc_free () =
   let h = Buffer_heap.create ~base:0 ~size:1024 in
   let a = Option.get (Buffer_heap.alloc h 100) in
+  Buffer_heap.check_invariants h;
   let b = Option.get (Buffer_heap.alloc h 200) in
+  Buffer_heap.check_invariants h;
   check_bool "blocks disjoint" true (b >= a + 100 || a >= b + 200);
   check_int "allocated (rounded)" (100 + 200) (Buffer_heap.allocated_bytes h);
   Buffer_heap.free h a;
+  Buffer_heap.check_invariants h;
   Buffer_heap.free h b;
   check_int "all free" 1024 (Buffer_heap.free_bytes h);
   check_int "no live blocks" 0 (Buffer_heap.live_blocks h);
@@ -28,6 +31,7 @@ let test_heap_alloc_free () =
 let test_heap_alignment () =
   let h = Buffer_heap.create ~base:0 ~size:64 in
   let a = Option.get (Buffer_heap.alloc h 3) in
+  Buffer_heap.check_invariants h;
   check_int "rounded to 4" 4 (Buffer_heap.block_size h a)
 
 let test_heap_coalescing () =
@@ -35,9 +39,12 @@ let test_heap_coalescing () =
   let a = Option.get (Buffer_heap.alloc h 100) in
   let b = Option.get (Buffer_heap.alloc h 100) in
   let c = Option.get (Buffer_heap.alloc h 100) in
+  Buffer_heap.check_invariants h;
   Alcotest.(check (option int)) "full" None (Buffer_heap.alloc h 4);
   Buffer_heap.free h a;
+  Buffer_heap.check_invariants h;
   Buffer_heap.free h c;
+  Buffer_heap.check_invariants h;
   check_int "fragmented: largest is 100" 100 (Buffer_heap.largest_free_block h);
   Buffer_heap.free h b;
   check_int "coalesced back to 300" 300 (Buffer_heap.largest_free_block h);
@@ -47,9 +54,11 @@ let test_heap_double_free () =
   let h = Buffer_heap.create ~base:0 ~size:64 in
   let a = Option.get (Buffer_heap.alloc h 8) in
   Buffer_heap.free h a;
+  Buffer_heap.check_invariants h;
   Alcotest.check_raises "double free rejected"
     (Invalid_argument "Buffer_heap.free: not a live allocation") (fun () ->
-      Buffer_heap.free h a)
+      Buffer_heap.free h a);
+  Buffer_heap.check_invariants h
 
 let prop_heap_random_ops =
   QCheck2.Test.make ~name:"heap invariants under random alloc/free"
@@ -72,6 +81,32 @@ let prop_heap_random_ops =
         ops;
       Buffer_heap.check_invariants h;
       true)
+
+let prop_heap_conservation =
+  QCheck2.Test.make ~name:"heap conserves bytes after every operation"
+    QCheck2.Gen.(list (pair bool (int_range 1 512)))
+    (fun ops ->
+      let size = 8192 in
+      let h = Buffer_heap.create ~base:0 ~size in
+      let live = ref [] in
+      let conserved () =
+        Buffer_heap.check_invariants h;
+        Buffer_heap.allocated_bytes h + Buffer_heap.free_bytes h = size
+      in
+      List.for_all
+        (fun (is_alloc, n) ->
+          (if is_alloc then (
+             match Buffer_heap.alloc h n with
+             | Some off -> live := off :: !live
+             | None -> ())
+           else
+             match !live with
+             | off :: rest ->
+                 Buffer_heap.free h off;
+                 live := rest
+             | [] -> ());
+          conserved ())
+        ops)
 
 (* ---------- Message ---------- *)
 
@@ -314,6 +349,34 @@ let test_mailbox_enqueued_cache_buffer_stays_live () =
       Mailbox.end_get ctx r;
       Mailbox.abort_put ctx src m2);
   Engine.run eng
+
+let test_mailbox_abort_put_accounting () =
+  let eng, heap, mb = make_mailbox ~byte_limit:1024 ~cached_buffer_bytes:0 () in
+  let ctx = null_ctx eng in
+  let got = ref "" in
+  (* a reader parked on the mailbox must not observe an aborted put *)
+  Engine.spawn eng (fun () ->
+      let r = Mailbox.begin_get ctx mb in
+      got := Message.to_string r;
+      Mailbox.end_get ctx r);
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng (us 10);
+      let base_blocks = Buffer_heap.live_blocks heap in
+      let base_bytes = Mailbox.bytes_in_use mb in
+      let m = Mailbox.begin_put ctx mb 300 in
+      check_bool "put charged" true (Mailbox.bytes_in_use mb > base_bytes);
+      Mailbox.abort_put ctx mb m;
+      check_int "bytes_in_use back to baseline" base_bytes
+        (Mailbox.bytes_in_use mb);
+      check_int "heap block returned" base_blocks
+        (Buffer_heap.live_blocks heap);
+      Buffer_heap.check_invariants heap;
+      let m2 = Mailbox.begin_put ctx mb 7 in
+      Message.write_string m2 0 "for-you";
+      Mailbox.end_put ctx mb m2);
+  Engine.run eng;
+  Alcotest.(check string) "reader saw only the completed put" "for-you" !got;
+  check_int "nothing left accounted" 0 (Mailbox.bytes_in_use mb)
 
 let prop_mailbox_model =
   QCheck2.Test.make ~name:"mailbox behaves as a FIFO of strings"
@@ -566,6 +629,7 @@ let () =
           Alcotest.test_case "coalescing" `Quick test_heap_coalescing;
           Alcotest.test_case "double free" `Quick test_heap_double_free;
           qtest prop_heap_random_ops;
+          qtest prop_heap_conservation;
         ] );
       ( "message",
         [
@@ -590,6 +654,8 @@ let () =
           Alcotest.test_case "cached buffer" `Quick test_mailbox_cached_buffer;
           Alcotest.test_case "enqueued cache buffer stays live" `Quick
             test_mailbox_enqueued_cache_buffer_stays_live;
+          Alcotest.test_case "abort_put accounting" `Quick
+            test_mailbox_abort_put_accounting;
           qtest prop_mailbox_model;
         ] );
       ( "threads",
