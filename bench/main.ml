@@ -13,13 +13,14 @@ let experiments =
     ("fig8", Fig8.run);
     ("ablations", Ablations.run);
     ("micro", Micro.run);
+    ("chaos", Chaos.run);
   ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
-    | _ -> [ "table1"; "fig6"; "fig7"; "fig8"; "ablations"; "micro" ]
+    | _ -> [ "table1"; "fig6"; "fig7"; "fig8"; "ablations"; "micro"; "chaos" ]
   in
   Printf.printf
     "Nectar communication processor: reproduction of the SIGCOMM'90\n\

@@ -362,6 +362,60 @@ let run_vet verbose =
         (String.concat ", " bad);
       exit 1
 
+(* ---------- chaos ---------- *)
+
+module Chaos = Nectar_chaos.Chaos
+
+let print_outcome verbose (o : Chaos.outcome) =
+  Printf.printf "=== chaos: %s (seed %d) ===\n" o.Chaos.name o.Chaos.seed;
+  List.iter (fun (k, v) -> Printf.printf "  %-22s %d\n" k v) o.Chaos.stats;
+  List.iter (fun f -> Printf.printf "  INVARIANT: %s\n" f) o.Chaos.failures;
+  List.iter
+    (fun fi ->
+      if fi.Vet.severity <> Vet.Info || verbose then
+        Printf.printf "  %s\n" (Format.asprintf "%a" Vet.pp_finding fi))
+    o.Chaos.findings
+
+let run_chaos seed only verbose =
+  let selected =
+    match only with
+    | None -> Chaos.campaigns
+    | Some n -> List.filter (fun c -> c.Chaos.cname = n) Chaos.campaigns
+  in
+  if selected = [] then begin
+    Printf.printf "chaos: no such campaign (try one of: %s)\n"
+      (String.concat ", "
+         (List.map (fun c -> c.Chaos.cname) Chaos.campaigns));
+    exit 2
+  end;
+  let bad = ref [] and nondet = ref [] in
+  List.iter
+    (fun c ->
+      (* run every campaign twice: same seed must give identical faults,
+         stats and findings *)
+      let o1 = Chaos.run_campaign ~seed c in
+      let o2 = Chaos.run_campaign ~seed c in
+      print_outcome verbose o1;
+      if not (Chaos.outcome_equal o1 o2) then nondet := c.Chaos.cname :: !nondet;
+      if not (Chaos.clean o1) then bad := c.Chaos.cname :: !bad;
+      Printf.printf "--- %s: %s\n\n%!" c.Chaos.cname
+        (if not (Chaos.clean o1) then "FAILURES"
+         else if not (Chaos.outcome_equal o1 o2) then "NONDETERMINISTIC"
+         else "clean, deterministic"))
+    selected;
+  match (List.rev !bad, List.rev !nondet) with
+  | [], [] ->
+      Printf.printf "chaos: all %d campaigns clean and deterministic (seed %d)\n"
+        (List.length selected) seed
+  | bad, nondet ->
+      if bad <> [] then
+        Printf.printf "chaos: failures in %d campaign(s): %s\n"
+          (List.length bad) (String.concat ", " bad);
+      if nondet <> [] then
+        Printf.printf "chaos: nondeterministic campaign(s): %s\n"
+          (String.concat ", " nondet);
+      exit 1
+
 (* ---------- cmdliner wiring ---------- *)
 
 open Cmdliner
@@ -414,9 +468,32 @@ let vet_cmd =
           discipline, starvation); exit nonzero on findings")
     Term.(const run_vet $ verbose)
 
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 1990
+         & info [ "seed" ] ~doc:"Fault-plan PRNG seed (same seed, same faults).")
+  in
+  let only =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~doc:"Run a single named campaign.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ] ~doc:"Also print informational findings.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the seeded fault-injection campaigns (wire loss and \
+          corruption, link flap, CAB crash, VME bus errors, allocation \
+          failures, signal loss, mailbox overflow, TCP budget) under every \
+          vet checker; each campaign runs twice to prove determinism; exit \
+          nonzero on any invariant violation, finding or mismatch")
+    Term.(const run_chaos $ seed $ only $ verbose)
+
 let () =
   let doc = "Nectar communication processor simulation scenarios" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "nectar-cli" ~doc)
-          [ ping_cmd; latency_cmd; throughput_cmd; info_cmd; vet_cmd ]))
+          [ ping_cmd; latency_cmd; throughput_cmd; info_cmd; vet_cmd; chaos_cmd ]))

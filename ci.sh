@@ -1,8 +1,10 @@
 #!/bin/sh
 # Full local CI: build everything, run the test suite, then the
-# correctness gate (nectar-lint + every scenario under nectar-vet).
+# correctness gate (nectar-lint + every scenario under nectar-vet),
+# then the seeded chaos campaigns.
 set -eux
 
 dune build @all
 dune runtest
 dune build @vet
+dune build @chaos

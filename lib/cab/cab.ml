@@ -129,6 +129,17 @@ let probe t = t.probe_pts
 let vme t = t.vme_bus
 let attach_vme t v = t.vme_bus <- Some v
 
+(* A crash is modelled as the board dropping off the fabric: its
+   attachment link goes down, so every frame it emits or is sent is
+   blackholed until restart.  Descriptors already queued still flow
+   through the tx DMA (firing [on_done], so senders' buffers are released
+   and nothing leaks) — the bytes just die on the dark fiber.  Runtime
+   state survives, making a restart a warm one; peers observe only
+   timeouts and recover through their retransmission machinery. *)
+let crash t = Nectar_hub.Network.set_node_up t.net t.nid false
+let restart t = Nectar_hub.Network.set_node_up t.net t.nid true
+let powered t = Nectar_hub.Network.node_up t.net t.nid
+
 let send_frame t ~route ~header_bytes ~data ~pos ~len ~on_done =
   if len <= 0 then invalid_arg "Cab.send_frame: empty frame";
   Queue.add { route; header_bytes; data; pos; len; on_done } t.tx_queue;

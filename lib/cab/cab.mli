@@ -35,6 +35,20 @@ val vme : t -> Vme.t option
 val attach_vme : t -> Vme.t -> unit
 (** Plug the board into a host's VME backplane. *)
 
+(** {1 Crash and restart (fault injection)} *)
+
+val crash : t -> unit
+(** Tear the board off the fabric mid-flight: its attachment link goes
+    down, so everything it sends or is sent is lost until {!restart}.
+    Already-queued transmit descriptors still complete their DMA (their
+    [on_done] fires and sender buffers are released — no leaks); the
+    frames die on the dark fiber.  Peers observe timeouts and recover. *)
+
+val restart : t -> unit
+(** Bring the board back (a warm restart: runtime state survived). *)
+
+val powered : t -> bool
+
 val send_frame :
   t ->
   route:int list ->

@@ -4,6 +4,8 @@ type t = {
   eng : Engine.t;
   bus_res : Resource.t;
   moved : Stats.Counter.t;
+  mutable fault : (unit -> bool) option;
+  mutable error_count : int;
 }
 
 let create eng ~name =
@@ -11,9 +13,22 @@ let create eng ~name =
     eng;
     bus_res = Resource.create eng ~name:(name ^ ".vme") ();
     moved = Stats.Counter.create ();
+    fault = None;
+    error_count = 0;
   }
 
 let bus t = t.bus_res
+let set_fault_hook t hook = t.fault <- hook
+
+(* A transient bus error aborts the current transfer cycle; the master
+   retries it transparently (the VMEbus BERR*-and-rerun discipline), so
+   callers see only added latency — counted, never surfaced. *)
+let bus_errored t =
+  match t.fault with
+  | Some f when f () ->
+      t.error_count <- t.error_count + 1;
+      true
+  | _ -> false
 
 let pio t ~cpu ~owner ~priority ~bytes =
   if bytes < 0 then invalid_arg "Vme.pio";
@@ -24,7 +39,8 @@ let pio t ~cpu ~owner ~priority ~bytes =
     Resource.with_held t.bus_res (fun () ->
         Cpu.consume cpu owner ~priority ~atomic:true
           (words * Costs.vme_word_ns));
-    remaining := !remaining - n
+    (* a faulted batch burned its bus cycles but moved nothing: rerun it *)
+    if not (bus_errored t) then remaining := !remaining - n
   done;
   Stats.Counter.add t.moved bytes
 
@@ -33,8 +49,13 @@ let pio_words t ~cpu ~owner ~priority ~words =
 
 let dma t ~bytes =
   if bytes < 0 then invalid_arg "Vme.dma";
-  Resource.with_held t.bus_res (fun () ->
-      Engine.sleep t.eng (bytes * Costs.vme_dma_ns_per_byte));
+  let done_ = ref false in
+  while not !done_ do
+    Resource.with_held t.bus_res (fun () ->
+        Engine.sleep t.eng (bytes * Costs.vme_dma_ns_per_byte));
+    done_ := not (bus_errored t)
+  done;
   Stats.Counter.add t.moved bytes
 
 let bytes_moved t = Stats.Counter.value t.moved
+let bus_errors t = t.error_count

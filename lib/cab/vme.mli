@@ -40,3 +40,14 @@ val dma : t -> bytes:int -> unit
 (** Block-transfer [bytes] at ~30 Mbit/s, holding the bus only. *)
 
 val bytes_moved : t -> int
+
+(** {1 Fault injection} *)
+
+val set_fault_hook : t -> (unit -> bool) option -> unit
+(** Transient bus-error injection: the hook is consulted after every PIO
+    batch and DMA block; returning [true] voids that transfer cycle and
+    the master reruns it (the VMEbus BERR*-and-retry discipline).  Callers
+    observe only added bus/CPU time — degradation, not failure. *)
+
+val bus_errors : t -> int
+(** Transfer cycles voided by injected bus errors. *)

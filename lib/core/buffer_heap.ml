@@ -11,6 +11,8 @@ type t = {
   mutable free_list : (int * int) list; (* (offset, length), sorted, coalesced *)
   live : (int, int) Hashtbl.t; (* offset -> allocated length *)
   mutable allocated : int;
+  mutable fault : (int -> bool) option; (* n -> inject allocation failure? *)
+  mutable faulted : int;
 }
 
 let uid_counter = ref 0
@@ -25,6 +27,8 @@ let create ~base ~size =
     free_list = [ (base, size) ];
     live = Hashtbl.create 64;
     allocated = 0;
+    fault = None;
+    faulted = 0;
   }
 
 let uid t = t.uid
@@ -36,6 +40,11 @@ let round n = (n + align - 1) / align * align
 let alloc t n =
   if n <= 0 then invalid_arg "Buffer_heap.alloc";
   let n = round n in
+  match t.fault with
+  | Some f when f n ->
+      t.faulted <- t.faulted + 1;
+      None
+  | _ ->
   let rec first_fit acc = function
     | [] -> None
     | (off, len) :: rest when len >= n ->
@@ -78,6 +87,8 @@ let block_size t off =
   | Some len -> len
   | None -> invalid_arg "Buffer_heap.block_size: not a live allocation"
 
+let set_fault_hook t hook = t.fault <- hook
+let failed_allocs t = t.faulted
 let live_blocks t = Hashtbl.length t.live
 let allocated_bytes t = t.allocated
 let free_bytes t = t.size - t.allocated

@@ -30,6 +30,15 @@ val free : t -> int -> unit
 val block_size : t -> int -> int
 (** The allocated size of a live block (rounded to alignment). *)
 
+val set_fault_hook : t -> (int -> bool) option -> unit
+(** Allocation-failure injection: the hook sees each requested (rounded)
+    size and returns [true] to make that {!alloc} report [None] as if no
+    free block fit.  Callers already tolerate [None] (it is how a full
+    heap degrades), so injection exercises exactly those paths. *)
+
+val failed_allocs : t -> int
+(** Allocations refused by the fault hook. *)
+
 val live_blocks : t -> int
 val allocated_bytes : t -> int
 val free_bytes : t -> int

@@ -3,13 +3,18 @@ module Costs = Nectar_cab.Costs
 
 type cached_buffer = { coff : int; clen : int; mutable busy : bool }
 
+type overflow = [ `Block | `Drop ]
+
 type t = {
   mname : string;
   eng : Engine.t;
   heap : Buffer_heap.t;
   mem : Bytes.t;
   limit : int;
+  capacity : int option;
+  overflow : overflow;
   mutable in_use : int;
+  mutable overflow_drop_count : int;
   queue : Message.t Queue.t;
   space_q : Waitq.t;
   data_q : Waitq.t;
@@ -21,8 +26,11 @@ type t = {
   cache_hit_count : Stats.Counter.t;
 }
 
-let create eng ~heap ~mem ~name ?(byte_limit = 64 * 1024)
-    ?(cached_buffer_bytes = 128) ?upcall () =
+let create eng ~heap ~mem ~name ?(byte_limit = 64 * 1024) ?capacity
+    ?(overflow = `Block) ?(cached_buffer_bytes = 128) ?upcall () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Mailbox.create: capacity must be > 0"
+  | _ -> ());
   if Vet_hook.installed () then
     Vet_hook.heap_attach ~heap:(Buffer_heap.uid heap) ~name:"cab-heap" ~mem
       ~base:(Buffer_heap.base heap) ~size:(Buffer_heap.size heap);
@@ -41,7 +49,10 @@ let create eng ~heap ~mem ~name ?(byte_limit = 64 * 1024)
     heap;
     mem;
     limit = byte_limit;
+    capacity;
+    overflow;
     in_use = 0;
+    overflow_drop_count = 0;
     queue = Queue.create ();
     space_q = Waitq.create eng ~name:(name ^ ".space") ();
     data_q = Waitq.create eng ~name:(name ^ ".data") ();
@@ -94,10 +105,16 @@ let take_buffer t (ctx : Ctx.t) n =
               false )
       | None -> None)
 
+let queue_full t =
+  match t.capacity with None -> false | Some c -> Queue.length t.queue >= c
+
 let try_begin_put (ctx : Ctx.t) t n =
   if n < 0 then invalid_arg "Mailbox.begin_put: negative size";
   ctx.work Costs.mbox_begin_put_ns;
-  if t.in_use + n > t.limit then None
+  (* With [`Block] the message-count bound backpressures writers here, at
+     allocation time; with [`Drop] the put is admitted and tail-dropped at
+     queue time, so the writer never stalls. *)
+  if t.in_use + n > t.limit || (t.overflow = `Block && queue_full t) then None
   else
     match take_buffer t ctx n with
     | None -> None
@@ -120,7 +137,11 @@ let begin_put ctx t n =
     | Some msg -> msg
     | None ->
         Vet_hook.blocking ctx ~op:("Mailbox.begin_put " ^ t.mname);
-        Waitq.wait t.space_q;
+        (* Timed wait, not [Waitq.wait]: a put can also fail on a transient
+           heap-allocation fault (injected, or a fragmented first-fit miss)
+           with space already free — then no space-freed signal will ever
+           come, and an untimed wait would sleep forever. *)
+        ignore (Waitq.wait_timeout t.space_q (Sim_time.us 100));
         attempt ()
   in
   attempt ()
@@ -136,19 +157,32 @@ let queue_message (ctx : Ctx.t) t (msg : Message.t) =
       u ctx t
   | None -> ()
 
-let end_put (ctx : Ctx.t) t (msg : Message.t) =
-  Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:t.mname Vet_hook.End_put;
-  if msg.state <> Message.Writing then
-    invalid_arg "Mailbox.end_put: message not in writing state";
-  ctx.work Costs.mbox_end_put_ns;
-  queue_message ctx t msg
-
-(* Shared terminal path of [dispose] and [abort_put]; the caller has
-   already reported the event and validated the state. *)
+(* Shared terminal path of [dispose], [abort_put] and overflow drops; the
+   caller has already reported the event and validated the state. *)
 let release_held (msg : Message.t) =
   msg.state <- Message.Freed;
   msg.on_disown msg;
   msg.free_buffer ()
+
+(* Tail-drop of a completed put or an enqueued message when a [`Drop]
+   mailbox is at capacity: the message is still held by the caller
+   (Writing/Reading), so releasing it here is an ordinary dispose. *)
+let overflow_drop (ctx : Ctx.t) t (msg : Message.t) =
+  t.overflow_drop_count <- t.overflow_drop_count + 1;
+  Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:t.mname
+    Vet_hook.Dispose;
+  release_held msg
+
+let end_put (ctx : Ctx.t) t (msg : Message.t) =
+  if msg.state <> Message.Writing then
+    invalid_arg "Mailbox.end_put: message not in writing state";
+  ctx.work Costs.mbox_end_put_ns;
+  if t.overflow = `Drop && queue_full t then overflow_drop ctx t msg
+  else begin
+    Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:t.mname
+      Vet_hook.End_put;
+    queue_message ctx t msg
+  end
 
 let dispose (ctx : Ctx.t) (msg : Message.t) =
   Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:"" Vet_hook.Dispose;
@@ -172,6 +206,9 @@ let try_begin_get (ctx : Ctx.t) t =
   | None -> None
   | Some msg ->
       msg.state <- Message.Reading;
+      (* a capacity-bounded mailbox admits a blocked writer as soon as a
+         slot opens, not only when the reader finishes with the bytes *)
+      if t.capacity <> None then ignore (Waitq.broadcast t.space_q);
       Stats.Counter.incr t.get_count;
       Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:t.mname
         Vet_hook.Begin_get;
@@ -196,19 +233,24 @@ let end_get ctx (msg : Message.t) =
   msg.on_end_get ctx msg
 
 let enqueue (ctx : Ctx.t) (msg : Message.t) dst =
-  Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:dst.mname
-    (Vet_hook.Enqueue { dst = dst.mname });
   (match msg.state with
   | Message.Reading | Message.Writing -> ()
   | Message.Queued | Message.Freed ->
       invalid_arg "Mailbox.enqueue: message not held by the caller");
   ctx.work Costs.mbox_enqueue_ns;
-  (* Transfer accounting from the current owner, then adopt; the buffer
-     itself stays put — only queue pointers move (paper §3.3). *)
-  msg.on_disown msg;
-  dst.in_use <- dst.in_use + msg.buf_len;
-  install dst msg;
-  queue_message ctx dst msg
+  if dst.overflow = `Drop && queue_full dst then overflow_drop ctx dst msg
+  else begin
+    Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:dst.mname
+      (Vet_hook.Enqueue { dst = dst.mname });
+    (* Transfer accounting from the current owner, then adopt; the buffer
+       itself stays put — only queue pointers move (paper §3.3).  A
+       [`Block] destination at capacity still accepts, like the byte
+       limit: enqueue must stay non-blocking for interrupt callers. *)
+    msg.on_disown msg;
+    dst.in_use <- dst.in_use + msg.buf_len;
+    install dst msg;
+    queue_message ctx dst msg
+  end
 
 let queued_messages t = Queue.length t.queue
 
@@ -216,6 +258,7 @@ let queued_bytes t =
   Queue.fold (fun acc m -> acc + Message.length m) 0 t.queue
 
 let bytes_in_use t = t.in_use
+let overflow_drops t = t.overflow_drop_count
 let puts t = Stats.Counter.value t.put_count
 let gets t = Stats.Counter.value t.get_count
 let cache_hits t = Stats.Counter.value t.cache_hit_count

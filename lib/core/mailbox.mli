@@ -17,20 +17,33 @@
 
 type t
 
+type overflow = [ `Block | `Drop ]
+(** What a capacity-bounded mailbox does when its message queue is full:
+    [`Block] backpressures writers at [begin_put] (the [try_] variant
+    fails, so interrupt-level producers drop-and-count at their layer);
+    [`Drop] admits the put and tail-drops the message at [end_put] /
+    [enqueue] time, counted in {!overflow_drops}. *)
+
 val create :
   Nectar_sim.Engine.t ->
   heap:Buffer_heap.t ->
   mem:Bytes.t ->
   name:string ->
   ?byte_limit:int ->
+  ?capacity:int ->
+  ?overflow:overflow ->
   ?cached_buffer_bytes:int ->
   ?upcall:(Ctx.t -> t -> unit) ->
   unit ->
   t
 (** [byte_limit] (default 64 KB) bounds this mailbox's share of the common
-    heap.  [cached_buffer_bytes] (default 128; 0 disables) reserves the
-    small-message cache buffer.  [upcall], if given, runs in the context of
-    every [end_put]/[enqueue] caller once the message is queued. *)
+    heap.  [capacity] (default unbounded) bounds the number of queued
+    messages, governed by [overflow] (default [`Block]); a [`Block]
+    mailbox at capacity still accepts [enqueue] (which must stay
+    non-blocking), like the byte limit.  [cached_buffer_bytes] (default
+    128; 0 disables) reserves the small-message cache buffer.  [upcall],
+    if given, runs in the context of every [end_put]/[enqueue] caller once
+    the message is queued. *)
 
 val name : t -> string
 
@@ -74,6 +87,10 @@ val enqueue : Ctx.t -> Message.t -> t -> unit
 val queued_messages : t -> int
 val queued_bytes : t -> int
 val bytes_in_use : t -> int
+
+val overflow_drops : t -> int
+(** Messages tail-dropped by the [`Drop] overflow policy. *)
+
 val puts : t -> int
 val gets : t -> int
 val cache_hits : t -> int

@@ -7,6 +7,8 @@ type t = {
   ports : (int, Mailbox.t) Hashtbl.t;
   opcodes : (int, Ctx.t -> param:int -> unit) Hashtbl.t;
   mutable host_notifier : (opcode:int -> param:int -> unit) option;
+  mutable signal_fault : (unit -> bool) option;
+  mutable signals_lost_count : int;
   host_notify_count : Stats.Counter.t;
   cab_signal_count : Stats.Counter.t;
 }
@@ -27,6 +29,8 @@ let create cab =
     ports = Hashtbl.create 16;
     opcodes = Hashtbl.create 16;
     host_notifier = None;
+    signal_fault = None;
+    signals_lost_count = 0;
     host_notify_count = Stats.Counter.create ();
     cab_signal_count = Stats.Counter.create ();
   }
@@ -40,10 +44,11 @@ let node_id t = Cab.node_id t.rcab
 let spawn_thread t ?priority ~name body =
   Thread.create t.rcab ?priority ~name body
 
-let create_mailbox t ~name ?port ?byte_limit ?cached_buffer_bytes ?upcall () =
+let create_mailbox t ~name ?port ?byte_limit ?capacity ?overflow
+    ?cached_buffer_bytes ?upcall () =
   let mbox =
     Mailbox.create (engine t) ~heap:t.rheap ~mem:(mem t) ~name ?byte_limit
-      ?cached_buffer_bytes ?upcall ()
+      ?capacity ?overflow ?cached_buffer_bytes ?upcall ()
   in
   (match port with
   | Some p ->
@@ -62,23 +67,39 @@ let register_opcode t ~opcode fn =
     invalid_arg "Runtime.register_opcode: opcode already registered";
   Hashtbl.replace t.opcodes opcode fn
 
+(* Both signal queues share one loss hook: the paper's host-CAB signal
+   queues live in shared memory and an overrun loses elements in either
+   direction.  A lost signal is counted and silently discarded — waiters
+   recover on the next signal (or their own timeout), which is exactly the
+   degradation the chaos campaigns exercise. *)
+let signal_lost t =
+  match t.signal_fault with
+  | Some f when f () ->
+      t.signals_lost_count <- t.signals_lost_count + 1;
+      true
+  | _ -> false
+
 let post_to_cab t ~opcode ~param =
   Stats.Counter.incr t.cab_signal_count;
   match Hashtbl.find_opt t.opcodes opcode with
   | None -> invalid_arg "Runtime.post_to_cab: unregistered opcode"
   | Some fn ->
-      Interrupts.post (Cab.irq t.rcab) ~name:"cab-signal" (fun ictx ->
-          let ctx = Ctx.of_interrupt ictx in
-          ctx.work Costs.signal_queue_op_ns;
-          fn ctx ~param)
+      if not (signal_lost t) then
+        Interrupts.post (Cab.irq t.rcab) ~name:"cab-signal" (fun ictx ->
+            let ctx = Ctx.of_interrupt ictx in
+            ctx.work Costs.signal_queue_op_ns;
+            fn ctx ~param)
 
 let set_host_notifier t n = t.host_notifier <- n
+let set_signal_fault t hook = t.signal_fault <- hook
 
 let notify_host t ~opcode ~param =
   Stats.Counter.incr t.host_notify_count;
   match t.host_notifier with
-  | Some fn -> fn ~opcode ~param
+  | Some fn -> if not (signal_lost t) then fn ~opcode ~param
   | None -> ()
+
+let signals_lost t = t.signals_lost_count
 
 let host_notifications t = Stats.Counter.value t.host_notify_count
 let cab_signals t = Stats.Counter.value t.cab_signal_count

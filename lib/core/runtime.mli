@@ -23,11 +23,14 @@ val create_mailbox :
   name:string ->
   ?port:int ->
   ?byte_limit:int ->
+  ?capacity:int ->
+  ?overflow:Mailbox.overflow ->
   ?cached_buffer_bytes:int ->
   ?upcall:(Ctx.t -> Mailbox.t -> unit) ->
   unit ->
   Mailbox.t
-(** A [port] makes the mailbox network-addressable on this CAB. *)
+(** A [port] makes the mailbox network-addressable on this CAB.
+    [capacity]/[overflow] bound the message queue (see {!Mailbox.create}). *)
 
 val mailbox_at : t -> port:int -> Mailbox.t option
 
@@ -54,3 +57,14 @@ val notify_host : t -> opcode:int -> param:int -> unit
 
 val host_notifications : t -> int
 val cab_signals : t -> int
+
+(** {1 Fault injection} *)
+
+val set_signal_fault : t -> (unit -> bool) option -> unit
+(** Signal-queue loss injection: the hook is consulted for every
+    {!post_to_cab} and every delivered {!notify_host}; returning [true]
+    silently discards that signal (counted in {!signals_lost}).  Models a
+    shared-memory signal-queue overrun; waiters recover on the next
+    signal. *)
+
+val signals_lost : t -> int

@@ -36,11 +36,19 @@ let attach drv mbox ~mode ~readers =
       next_msg_id = 1;
     }
   in
+  (* Drain everything pending, not just one message: the handler must be
+     idempotent under signal loss, so that any later signal finishes the
+     [end_put]s whose own signals were dropped by the queue. *)
   Runtime.register_opcode (Cab_driver.runtime drv) ~opcode (fun cctx ~param ->
       ignore param;
-      match Queue.take_opt h.pending_end_put with
-      | Some msg -> Mailbox.end_put cctx h.mbox msg
-      | None -> ());
+      let rec drain () =
+        match Queue.take_opt h.pending_end_put with
+        | Some msg ->
+            Mailbox.end_put cctx h.mbox msg;
+            drain ()
+        | None -> ()
+      in
+      drain ());
   h
 
 let mode_of h = h.hmode

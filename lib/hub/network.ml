@@ -8,11 +8,15 @@ type sink = {
   on_chunk : Frame.t -> arrived:int -> last:bool -> unit;
 }
 
-type fault_verdict = [ `Deliver | `Drop | `Corrupt ]
+type fault_verdict = [ `Deliver | `Drop | `Corrupt | `Corrupt_burst of int ]
 
 type port_peer = Free | To_node of node_id | To_hub of int * int
 
-type port = { out_res : Resource.t; mutable peer : port_peer }
+type port = {
+  out_res : Resource.t;
+  mutable peer : port_peer;
+  mutable up : bool;
+}
 
 type hub = { controller : Resource.t; ports : port array }
 
@@ -30,6 +34,10 @@ type t = {
   mutable frame_ids : int;
   frames : Stats.Counter.t;
   bytes : Stats.Counter.t;
+  delivered : Stats.Counter.t;
+  fault_drops_count : Stats.Counter.t;
+  corrupted : Stats.Counter.t;
+  link_down_count : Stats.Counter.t;
 }
 
 let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
@@ -48,6 +56,7 @@ let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
                   ~name:(Printf.sprintf "hub%d.port%d" h p)
                   ();
               peer = Free;
+              up = true;
             });
     }
   in
@@ -63,6 +72,10 @@ let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
     frame_ids = 0;
     frames = Stats.Counter.create ();
     bytes = Stats.Counter.create ();
+    delivered = Stats.Counter.create ();
+    fault_drops_count = Stats.Counter.create ();
+    corrupted = Stats.Counter.create ();
+    link_down_count = Stats.Counter.create ();
   }
 
 let engine t = t.eng
@@ -148,12 +161,33 @@ let resolve t ~src route_ports =
   in
   walk (node t src).node_hub route_ports []
 
-let corrupt_frame (frame : Frame.t) =
+(* Flip one bit in each of [burst] contiguous bytes centred on the middle
+   of the frame — a single-bit error for [burst = 1] (the classic fiber
+   glitch), a noise burst otherwise.  Either way the receiver's hardware
+   CRC recomputation disagrees with the snapshot CRC and the frame is
+   dropped whole by the datalink. *)
+let corrupt_frame ?(burst = 1) (frame : Frame.t) =
   let len = Bytes.length frame.data in
   if len > 0 then begin
-    let i = len / 2 in
-    Bytes.set_uint8 frame.data i (Bytes.get_uint8 frame.data i lxor 0x08)
+    let k = min (max 1 burst) len in
+    let start = min (len / 2) (len - k) in
+    for i = start to start + k - 1 do
+      Bytes.set_uint8 frame.data i (Bytes.get_uint8 frame.data i lxor 0x08)
+    done
   end
+
+let set_link_up t ~hub ~port:p up = (port t hub p).up <- up
+
+(* A node's link is the fiber pair on its attachment port: taking it down
+   severs the node in both directions (its HUB port neither accepts nor
+   emits frames), which is also how a crashed CAB looks to the fabric. *)
+let set_node_up t id up =
+  let n = node t id in
+  (port t n.node_hub n.node_port).up <- up
+
+let node_up t id =
+  let n = node t id in
+  (port t n.node_hub n.node_port).up
 
 (* Chunk plan: a small first chunk so the start-of-packet event fires as soon
    as the datalink header is in, a small second chunk covering typical
@@ -175,8 +209,23 @@ let transmit ?(header_bytes = 32) t ~src ~route:route_ports frame =
   let verdict =
     match t.fault with None -> `Deliver | Some f -> f frame
   in
-  if verdict = `Corrupt then corrupt_frame frame;
+  (match verdict with
+  | `Corrupt ->
+      Stats.Counter.incr t.corrupted;
+      corrupt_frame frame
+  | `Corrupt_burst k ->
+      Stats.Counter.incr t.corrupted;
+      corrupt_frame ~burst:k frame
+  | `Deliver | `Drop -> ());
   let hops, dst = resolve t ~src route_ports in
+  let src_node = node t src in
+  let link_down =
+    (not (port t src_node.node_hub src_node.node_port).up)
+    || List.exists (fun (_, p) -> not p.up) hops
+  in
+  let verdict = if link_down then `Drop else verdict in
+  if link_down then Stats.Counter.incr t.link_down_count
+  else if verdict = `Drop then Stats.Counter.incr t.fault_drops_count;
   let dst_sink = (node t dst).sink in
   (* Connection setup: one controller command per HUB, then hold the output
      port for the duration of the transfer (circuit). *)
@@ -192,9 +241,10 @@ let transmit ?(header_bytes = 32) t ~src ~route:route_ports frame =
   (match verdict with
   | `Drop ->
       (* The frame crosses the wire but is never delivered (e.g. lost at the
-         far side); wire time still passes. *)
+         far side, or blackholed by a downed link); wire time still passes. *)
       Engine.sleep t.eng (total * t.fiber_ns_per_byte)
-  | `Deliver | `Corrupt ->
+  | `Deliver | `Corrupt | `Corrupt_burst _ ->
+      Stats.Counter.incr t.delivered;
       let arrived = ref 0 in
       List.iter
         (fun n ->
@@ -218,3 +268,7 @@ let next_frame_id t =
 
 let frames_sent t = Stats.Counter.value t.frames
 let bytes_sent t = Stats.Counter.value t.bytes
+let frames_delivered t = Stats.Counter.value t.delivered
+let fault_drops t = Stats.Counter.value t.fault_drops_count
+let frames_corrupted t = Stats.Counter.value t.corrupted
+let link_down_drops t = Stats.Counter.value t.link_down_count

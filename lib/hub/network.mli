@@ -31,7 +31,10 @@ type sink = {
   on_chunk : Frame.t -> arrived:int -> last:bool -> unit;
 }
 
-type fault_verdict = [ `Deliver | `Drop | `Corrupt ]
+type fault_verdict = [ `Deliver | `Drop | `Corrupt | `Corrupt_burst of int ]
+(** Per-frame fault-hook verdict: [`Corrupt] flips a single bit,
+    [`Corrupt_burst k] flips a bit in each of [k] contiguous bytes (a
+    noise burst); both are caught by the receiver's hardware CRC. *)
 
 val create :
   Nectar_sim.Engine.t ->
@@ -71,9 +74,35 @@ val transmit :
 
 val set_fault_hook : t -> (Frame.t -> fault_verdict) option -> unit
 (** Fault injection for loss/corruption tests.  [`Corrupt] flips a bit in
-    the frame payload so the receiver's hardware CRC check fails. *)
+    the frame payload so the receiver's hardware CRC check fails;
+    [`Corrupt_burst k] damages [k] contiguous bytes. *)
+
+(** {1 Link faults}
+
+    Every port carries an up/down flag (default up).  A frame whose path
+    crosses any downed port — the source node's attachment, a HUB-to-HUB
+    trunk, or the destination attachment — is blackholed: it consumes
+    wire time but is never delivered, and is counted in
+    {!link_down_drops}. *)
+
+val set_link_up : t -> hub:int -> port:int -> bool -> unit
+
+val set_node_up : t -> node_id -> bool -> unit
+(** Take a node's attachment link down/up — how a link flap or a crashed
+    CAB looks to the fabric (the board neither sends nor receives). *)
+
+val node_up : t -> node_id -> bool
 
 val next_frame_id : t -> int
 
+(** {1 Wire accounting}
+
+    Conservation invariant (asserted by the chaos campaigns):
+    [frames_sent = frames_delivered + fault_drops + link_down_drops]. *)
+
 val frames_sent : t -> int
 val bytes_sent : t -> int
+val frames_delivered : t -> int
+val fault_drops : t -> int
+val frames_corrupted : t -> int
+val link_down_drops : t -> int

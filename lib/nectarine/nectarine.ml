@@ -5,6 +5,18 @@ module Costs = Nectar_cab.Costs
 
 type endpoint = { cab : int; port : int }
 
+type error =
+  | Delivery_timeout of endpoint
+  | Call_timeout of endpoint
+  | No_buffer
+
+let string_of_error = function
+  | Delivery_timeout { cab; port } ->
+      Printf.sprintf "delivery timeout (cab %d port %d)" cab port
+  | Call_timeout { cab; port } ->
+      Printf.sprintf "call timeout (cab %d port %d)" cab port
+  | No_buffer -> "out of transmit buffers"
+
 type side = Cab_side | Host_side of Cab_driver.t
 
 type node = {
@@ -163,6 +175,16 @@ let send ctx n ~dst ?(reliable = true) payload =
       Hostlib.write_string ctx h m ~pos:6 payload;
       Hostlib.end_put ctx h m
 
+(* Typed-error variant: a scenario thread that lets [Rmp.Delivery_timeout]
+   escape is killed by the engine (Process_failure) and takes the whole
+   run with it; chaos traffic uses this form and counts the error. *)
+let send_result ctx n ~dst ?reliable payload =
+  match send ctx n ~dst ?reliable payload with
+  | () -> Ok ()
+  | exception Rmp.Delivery_timeout { dst_cab; dst_port } ->
+      Error (Delivery_timeout { cab = dst_cab; port = dst_port })
+  | exception Datalink.No_buffer -> Error No_buffer
+
 (* ---------- RPC ---------- *)
 
 let rpc_proxy_thread stack req_mb resp_mb (ctx : Ctx.t) =
@@ -231,6 +253,13 @@ let call ctx n ~dst payload =
           let s = Hostlib.read_string ctx p.resp_h r in
           Hostlib.end_get ctx p.resp_h r;
           s)
+
+let call_result ctx n ~dst payload =
+  match call ctx n ~dst payload with
+  | response -> Ok response
+  | exception Reqresp.Call_timeout { dst_cab; dst_port } ->
+      Error (Call_timeout { cab = dst_cab; port = dst_port })
+  | exception Datalink.No_buffer -> Error No_buffer
 
 (* ---------- services ---------- *)
 

@@ -16,6 +16,13 @@ type node
 
 type endpoint = { cab : int; port : int }
 
+type error =
+  | Delivery_timeout of endpoint  (** RMP gave up after its retry budget. *)
+  | Call_timeout of endpoint  (** RPC gave up after its retry budget. *)
+  | No_buffer  (** Transmit frame buffers exhausted (non-blocking path). *)
+
+val string_of_error : error -> string
+
 val cab_node : Nectar_proto.Stack.t -> node
 
 val host_node : Nectar_host.Cab_driver.t -> Nectar_proto.Stack.t -> node
@@ -48,12 +55,26 @@ val send :
   Nectar_core.Ctx.t -> node -> dst:endpoint -> ?reliable:bool -> string ->
   unit
 (** Deliver a message into a remote mailbox: the Nectar datagram protocol,
-    or RMP when [reliable] (default true). *)
+    or RMP when [reliable] (default true).  Raises the transport's
+    exception (e.g. [Rmp.Delivery_timeout]) if delivery cannot be
+    confirmed. *)
+
+val send_result :
+  Nectar_core.Ctx.t -> node -> dst:endpoint -> ?reliable:bool -> string ->
+  (unit, error) result
+(** Like {!send} but returns transport failures as typed errors instead of
+    raising — use from threads that must survive fault injection. *)
 
 (** {1 RPC} *)
 
 val call : Nectar_core.Ctx.t -> node -> dst:endpoint -> string -> string
 (** Remote procedure call over the request-response protocol. *)
+
+val call_result :
+  Nectar_core.Ctx.t -> node -> dst:endpoint -> string ->
+  (string, error) result
+(** Like {!call} but returns transport failures as typed errors instead of
+    raising. *)
 
 val serve : node -> port:int -> (Nectar_core.Ctx.t -> string -> string) -> unit
 (** Register an RPC service on [port].  On a CAB node the handler runs in

@@ -68,6 +68,8 @@ type conn = {
   mutable rttvar : float;
   mutable rtx_deadline : Sim_time.t option;
   mutable syn_tries : int;
+  mutable data_tries : int; (* consecutive rtx timeouts with no progress *)
+  mutable timed_out : bool; (* closed by our own retry budget, not a peer *)
   mutable rtt_sample : (int * Sim_time.t) option; (* (seq to ack, sent at) *)
   mutable on_establish : (conn -> unit) option;
   mutable was_reset : bool;
@@ -103,6 +105,12 @@ let min_rto = Sim_time.ms 2
 let max_rto = Sim_time.s 2
 let initial_rto = Sim_time.ms 10
 let syn_retry_limit = 6
+
+(* Retransmission budget for established connections: after this many
+   consecutive timer firings with no ACK progress (backoff capped at
+   [max_rto]) the connection is aborted locally and the user sees
+   [Connection_timed_out] instead of an infinite retry loop. *)
+let data_retry_limit = 10
 let time_wait_span = Sim_time.ms 40
 
 (* With [`Interrupt] input mode, exclusion comes from running at interrupt
@@ -266,6 +274,8 @@ let make_conn t ~lport ~raddr ~rport ~st ~iss ~rcv_nxt =
       rttvar = 0.;
       rtx_deadline = None;
       syn_tries = 0;
+      data_tries = 0;
+      timed_out = false;
       rtt_sample = None;
       on_establish = None;
       was_reset = false;
@@ -399,6 +409,7 @@ let send_rst ctx t ~dst ~sport ~dport ~seq ~ack_theirs =
 let process_ack c ~ack ~wnd =
   if Seq.ge ack c.snd_una then c.snd_wnd <- wnd;
   if Seq.gt ack c.snd_una && Seq.le ack c.snd_nxt then begin
+    c.data_tries <- 0;
     (* RTT sample (Karn: the sample is cleared on retransmission) *)
     (match c.rtt_sample with
     | Some (sample_seq, t0) when Seq.ge ack sample_seq ->
@@ -635,7 +646,15 @@ let timer_thread t (ctx : Ctx.t) =
                       emit ctx c ~flags:(fl_syn lor fl_ack) ~seq:c.iss
                         ~payload_n:0
                   | Established | Fin_wait_1 | Fin_wait_2 | Close_wait
+                  | Closing | Last_ack
+                    when c.data_tries >= data_retry_limit ->
+                      (* retry budget exhausted with no ACK progress: abort
+                         locally and surface a clean failure to the user *)
+                      c.timed_out <- true;
+                      reset_conn ~by_peer:false ctx c
+                  | Established | Fin_wait_1 | Fin_wait_2 | Close_wait
                   | Closing | Last_ack ->
+                      c.data_tries <- c.data_tries + 1;
                       let in_flight_data =
                         min c.sb_len (Seq.mask (c.snd_nxt - c.snd_una))
                       in
@@ -679,6 +698,9 @@ let rec send_thread t (ctx : Ctx.t) =
     | None -> ()
   done
 
+and conn_failure c =
+  if c.timed_out then Connection_timed_out else Connection_reset
+
 and send_locked (ctx : Ctx.t) c data =
   Lock.Mutex.with_lock ctx c.lock (fun () ->
       let pos = ref 0 in
@@ -691,10 +713,10 @@ and send_locked (ctx : Ctx.t) c data =
             while c.st = Syn_sent || c.st = Syn_rcvd do
               Lock.Condvar.wait ctx c.changed c.lock
             done
-        | _ -> raise Connection_reset);
+        | _ -> raise (conn_failure c));
         (match c.st with
         | Established | Close_wait -> ()
-        | _ -> raise Connection_reset);
+        | _ -> raise (conn_failure c));
         let free = sndbuf_cap - c.sb_len in
         if free = 0 then Lock.Condvar.wait ctx c.space c.lock
         else begin
@@ -830,6 +852,11 @@ let close (ctx : Ctx.t) c =
           do
             Lock.Condvar.wait ctx c.changed c.lock
           done)
+
+let failure c =
+  if c.timed_out then `Timed_out
+  else if c.was_reset then `Reset
+  else `None
 
 let state_name c = state_to_string c.st
 let local_port c = c.lport

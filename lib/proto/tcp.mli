@@ -55,7 +55,14 @@ val connect :
 
 val send : Nectar_core.Ctx.t -> conn -> string -> unit
 (** Queue bytes on the connection; blocks while the send buffer is full.
-    Raises {!Connection_reset} if the connection is gone. *)
+    Raises {!Connection_reset} if the peer tore the connection down, or
+    {!Connection_timed_out} if our own retransmission budget expired (the
+    timer retried with exponential backoff capped at 2 s until the budget
+    ran out with no ACK progress, then aborted the connection). *)
+
+val failure : conn -> [ `None | `Reset | `Timed_out ]
+(** How the connection died, if it did: [`Reset] by the peer,
+    [`Timed_out] by the local retransmission budget. *)
 
 val recv_mailbox : conn -> Nectar_core.Mailbox.t
 (** In-order received data lands here as messages (payload only). *)
