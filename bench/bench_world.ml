@@ -17,12 +17,14 @@ type cab_world = {
   stack_b : Stack.t;
 }
 
-let cab_pair ?tcp_checksum ?tcp_mss ?tcp_input_mode () =
+let cab_pair ?tcp_checksum ?tcp_mss ?tcp_input_mode ?rmp_window ?rmp_ack_delay
+    () =
   let eng = Engine.create () in
   let net = Net.create eng ~hubs:1 () in
   let make i =
     let cab = Cab.create net ~hub:0 ~port:i ~name:(Printf.sprintf "cab%d" i) in
-    Stack.create (Runtime.create cab) ?tcp_checksum ?tcp_mss ?tcp_input_mode ()
+    Stack.create (Runtime.create cab) ?tcp_checksum ?tcp_mss ?tcp_input_mode
+      ?rmp_window ?rmp_ack_delay ()
   in
   let stack_a = make 0 in
   let stack_b = make 1 in

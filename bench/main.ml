@@ -14,6 +14,10 @@ let experiments =
     ("ablations", Ablations.run);
     ("micro", Micro.run);
     ("chaos", Chaos.run);
+    (* beyond-the-paper perf harness; not in the default list so the
+       default run keeps producing exactly the paper tables *)
+    ("perf", Perf.run ~smoke:false);
+    ("perf-smoke", Perf.run ~smoke:true);
   ]
 
 let () =

@@ -1,0 +1,325 @@
+(* Perf-regression harness (beyond the paper — see EXPERIMENTS.md,
+   "Beyond the paper (fastpath)").
+
+   Two kinds of numbers, kept deliberately separate:
+
+   - wall-clock: how fast the *simulator itself* runs (the event engine
+     micro plus a full fig7 RMP point).  Machine-dependent; measured with
+     a median-of-samples loop rather than Bechamel's OLS so run-to-run
+     noise stays small.  Compared against the recorded pre-fastpath
+     baseline (~290k ns for the 1k-timer micro).
+
+   - simulated: protocol throughput of the sliding-window RMP and a
+     multi-CAB fleet with receive-interrupt coalescing.  Deterministic —
+     pure functions of the cost model — so they double as regression
+     counters.
+
+   [run ~smoke:true] (the `perf-smoke` experiment, wired into ci.sh) runs
+   shrunken simulated scenarios and asserts only deterministic counts —
+   never wall-clock thresholds, which would make CI flaky.  The full
+   `perf` experiment also writes BENCH_perf.json to the current
+   directory; the checked-in copy at the repo root is the recorded
+   regression point. *)
+
+open Nectar_sim
+open Nectar_core
+open Nectar_proto
+open Bench_world
+module Net = Nectar_hub.Network
+module Cab = Nectar_cab.Cab
+module Rx = Nectar_cab.Rx
+
+(* Recorded wall clock of the engine micro before the fastpath work
+   (lazy-cancel polymorphic-compare heap), on the reference machine. *)
+let baseline_engine_1k_ns = 290_000.
+
+(* ---------- wall-clock measurement ---------- *)
+
+let median xs =
+  let a = List.sort compare xs in
+  List.nth a (List.length a / 2)
+
+(* Median of [samples] timings, each averaging [inner] calls: steadier
+   than a single Bechamel OLS estimate for these ~100us workloads. *)
+let time_ns ?(samples = 9) ?(inner = 100) f =
+  Gc.compact ();
+  ignore (f ());
+  ignore (f ());
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to inner do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int inner
+  in
+  median (List.init samples (fun _ -> one ()))
+
+let engine_1k_events () =
+  let eng = Engine.create () in
+  for i = 1 to 1000 do
+    ignore (Engine.at eng i (fun () -> ()))
+  done;
+  Engine.run eng
+
+(* The RTO pattern: most timers are cancelled before they fire (every ack
+   cancels a retransmit timer).  Exercises lazy cancellation and the
+   dead-entry compaction path. *)
+let engine_schedule_cancel () =
+  let eng = Engine.create () in
+  for i = 1 to 1000 do
+    let tm = Engine.at eng (i + 1000) (fun () -> ()) in
+    if i mod 8 <> 0 then Engine.cancel tm
+  done;
+  Engine.run eng
+
+(* ---------- simulated: windowed RMP CAB-to-CAB throughput ---------- *)
+
+(* Same shape as fig7's RMP point, plus a flush so windowed senders wait
+   for their tail acks.  Returns (Mbit/s, delivered, retransmits,
+   failed_sends). *)
+let windowed_run ~window ~ack_delay ~size ~count =
+  let w = cab_pair ~rmp_window:window ~rmp_ack_delay:ack_delay () in
+  let port = 900 in
+  let inbox =
+    Runtime.create_mailbox w.stack_b.Stack.rt ~name:"perf-inbox" ~port
+      ~byte_limit:(256 * 1024) ()
+  in
+  let got = ref 0 and done_at = ref 0 and started = ref 0 in
+  spawn_cab_thread w.stack_b ~name:"sink" (fun ctx ->
+      for _ = 1 to count do
+        let m = Mailbox.begin_get ctx inbox in
+        Mailbox.end_get ctx m;
+        incr got
+      done;
+      done_at := Engine.now w.eng);
+  spawn_cab_thread w.stack_a ~name:"source" (fun ctx ->
+      started := Engine.now w.eng;
+      let payload = String.make size 'p' in
+      let dst_cab = Stack.node_id w.stack_b in
+      for _ = 1 to count do
+        Rmp.send_string ctx w.stack_a.Stack.rmp ~dst_cab ~dst_port:port
+          payload
+      done;
+      Rmp.flush ctx w.stack_a.Stack.rmp ~dst_cab ~dst_port:port);
+  Engine.run w.eng;
+  let rmp = w.stack_a.Stack.rmp in
+  ( mbps ~bytes:(count * size) ~ns:(!done_at - !started),
+    !got,
+    Rmp.retransmits rmp,
+    Rmp.failed_sends rmp )
+
+(* ---------- simulated: multi-CAB fleet with rx coalescing ---------- *)
+
+(* [senders] CABs blast one sink over windowed RMP; the sink's receive
+   engine optionally coalesces completion interrupts ([coalesce_ns]).
+   Returns (aggregate Mbit/s, delivered, completion batches). *)
+let fleet_run ~senders ~window ~size ~count ~coalesce_ns =
+  let eng = Engine.create () in
+  let net = Net.create eng ~hubs:1 () in
+  let make i =
+    let cab = Cab.create net ~hub:0 ~port:i ~name:(Printf.sprintf "fl%d" i) in
+    Stack.create (Runtime.create cab) ~rmp_window:window ()
+  in
+  let sink = make 0 in
+  let srcs = List.init senders (fun i -> make (i + 1)) in
+  Rx.set_coalesce_ns (Cab.rx (Runtime.cab sink.Stack.rt)) coalesce_ns;
+  let port = 700 in
+  let inbox =
+    Runtime.create_mailbox sink.Stack.rt ~name:"fleet-inbox" ~port
+      ~byte_limit:(512 * 1024) ()
+  in
+  let total = senders * count in
+  let got = ref 0 and done_at = ref 0 and started = ref 0 in
+  spawn_cab_thread sink ~name:"fleet-sink" (fun ctx ->
+      for _ = 1 to total do
+        let m = Mailbox.begin_get ctx inbox in
+        Mailbox.end_get ctx m;
+        incr got
+      done;
+      done_at := Engine.now eng);
+  List.iteri
+    (fun i st ->
+      spawn_cab_thread st ~name:(Printf.sprintf "fleet-src%d" i) (fun ctx ->
+          if !started = 0 then started := Engine.now eng;
+          let payload = String.make size 'f' in
+          let dst_cab = Stack.node_id sink in
+          for _ = 1 to count do
+            Rmp.send_string ctx st.Stack.rmp ~dst_cab ~dst_port:port payload
+          done;
+          Rmp.flush ctx st.Stack.rmp ~dst_cab ~dst_port:port))
+    srcs;
+  Engine.run eng;
+  let batches = Rx.completion_batches (Cab.rx (Runtime.cab sink.Stack.rt)) in
+  (mbps ~bytes:(total * size) ~ns:(!done_at - !started), !got, batches)
+
+(* ---------- deterministic assertions (smoke and full) ---------- *)
+
+let failures = ref 0
+
+let check what ok =
+  if not ok then begin
+    incr failures;
+    Printf.printf "  FAIL: %s\n" what
+  end
+
+(* The compaction bound: a schedule-mostly-cancel storm must not let the
+   heap grow past 2x the live events (plus the small threshold). *)
+let check_compaction () =
+  let eng = Engine.create () in
+  let live = ref 0 in
+  for i = 1 to 10_000 do
+    let tm = Engine.at eng (i + 10_000) (fun () -> ()) in
+    if i mod 10 <> 0 then Engine.cancel tm else incr live
+  done;
+  let q = Engine.queued_events eng and p = Engine.pending_events eng in
+  check
+    (Printf.sprintf "compaction bound (queued %d, pending %d)" q p)
+    (p = !live && q <= (2 * p) + 64);
+  Engine.run eng
+
+let check_sweep ~size ~count rows =
+  List.iter
+    (fun (win, (tput, got, retx, failed)) ->
+      check
+        (Printf.sprintf "window %d: delivered %d/%d, retx %d, failed %d" win
+           got count retx failed)
+        (got = count && retx = 0 && failed = 0);
+      ignore tput)
+    rows;
+  (match (List.assoc_opt 1 rows, List.assoc_opt 16 rows) with
+  | Some (t1, _, _, _), Some (t16, _, _, _) ->
+      check
+        (Printf.sprintf "window 16 (%.1f) >= window 1 (%.1f) at %d B" t16 t1
+           size)
+        (t16 >= t1)
+  | _ -> ());
+  rows
+
+(* ---------- JSON ---------- *)
+
+let json_of ~engine_ns ~cancel_ns ~fig7_wall_ms ~sweep ~size
+    ~(fleet_off : float * int * int) ~(fleet_on : float * int * int)
+    ~fleet_cfg =
+  let b = Buffer.create 1024 in
+  let senders, fcount, fsize, coal_us = fleet_cfg in
+  let off_t, off_got, off_b = fleet_off in
+  let on_t, on_got, on_b = fleet_on in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"experiment\": \"fastpath-perf\",\n";
+  Printf.bprintf b
+    "  \"wall_clock\": {\n\
+    \    \"note\": \"machine-dependent; median-of-samples, not asserted in \
+     CI\",\n\
+    \    \"engine_1k_events_baseline_ns\": %.0f,\n\
+    \    \"engine_1k_events_ns\": %.0f,\n\
+    \    \"engine_1k_events_speedup\": %.2f,\n\
+    \    \"engine_1k_schedule_cancel_ns\": %.0f,\n\
+    \    \"fig7_rmp_8k_wall_ms\": %.1f\n\
+    \  },\n"
+    baseline_engine_1k_ns engine_ns
+    (baseline_engine_1k_ns /. engine_ns)
+    cancel_ns fig7_wall_ms;
+  Printf.bprintf b "  \"windowed_rmp\": { \"msg_bytes\": %d, \"points\": [\n"
+    size;
+  List.iteri
+    (fun i (win, (tput, got, retx, failed)) ->
+      Printf.bprintf b
+        "    { \"window\": %d, \"mbit_s\": %.1f, \"delivered\": %d, \
+         \"retransmits\": %d, \"failed_sends\": %d }%s\n"
+        win tput got retx failed
+        (if i = List.length sweep - 1 then "" else ","))
+    sweep;
+  Buffer.add_string b "  ] },\n";
+  Printf.bprintf b
+    "  \"fleet\": {\n\
+    \    \"senders\": %d, \"msgs_per_sender\": %d, \"msg_bytes\": %d,\n\
+    \    \"coalesce_off\": { \"mbit_s\": %.1f, \"delivered\": %d, \
+     \"batches\": %d },\n\
+    \    \"coalesce_on\": { \"coalesce_us\": %d, \"mbit_s\": %.1f, \
+     \"delivered\": %d, \"batches\": %d }\n\
+    \  }\n"
+    senders fcount fsize off_t off_got off_b coal_us on_t on_got on_b;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* ---------- driver ---------- *)
+
+let run ?(smoke = false) () =
+  section
+    (if smoke then "Perf harness (smoke: deterministic counts only)"
+     else "Perf harness (fastpath): wall clock + windowed RMP");
+  failures := 0;
+  check_compaction ();
+  let size = if smoke then 1024 else 8192 in
+  let count = if smoke then 40 else 183 in
+  let sweep =
+    check_sweep ~size ~count
+      (List.map
+         (fun win ->
+           (win, windowed_run ~window:win ~ack_delay:0 ~size ~count))
+         [ 1; 4; 16 ])
+  in
+  Printf.printf "  windowed RMP, %d B x %d msgs (simulated):\n" size count;
+  List.iter
+    (fun (win, (tput, _, _, _)) ->
+      Printf.printf "    window %-3d %8s Mbit/s\n" win (fmt_mbps tput))
+    sweep;
+  (* Small frames so several receive completions land inside one coalesce
+     window (a 512 B frame occupies the sink's link for ~44 us). *)
+  let senders = if smoke then 3 else 4 in
+  let fcount = if smoke then 30 else 200 in
+  let fsize = 512 in
+  let coal_us = 100 in
+  let fleet ~coalesce_ns =
+    fleet_run ~senders ~window:8 ~size:fsize ~count:fcount ~coalesce_ns
+  in
+  let ((off_t, off_got, off_b) as fleet_off) = fleet ~coalesce_ns:0 in
+  let ((on_t, on_got, on_b) as fleet_on) =
+    fleet ~coalesce_ns:(Sim_time.us coal_us)
+  in
+  let total = senders * fcount in
+  check
+    (Printf.sprintf "fleet coalesce off: delivered %d/%d, batches %d" off_got
+       total off_b)
+    (off_got = total && off_b = 0);
+  check
+    (Printf.sprintf "fleet coalesce on: delivered %d/%d, batches %d" on_got
+       total on_b)
+    (on_got = total && on_b > 0 && on_b < total);
+  Printf.printf
+    "  fleet (%d senders x %d x %d B, window 8, simulated):\n\
+    \    coalesce off    %8s Mbit/s  (one interrupt per frame)\n\
+    \    coalesce %3dus  %8s Mbit/s  (%d frames in %d batches)\n"
+    senders fcount fsize (fmt_mbps off_t) coal_us (fmt_mbps on_t) on_got on_b;
+  if not smoke then begin
+    let engine_ns = time_ns engine_1k_events in
+    let cancel_ns = time_ns engine_schedule_cancel in
+    let fig7_wall =
+      time_ns ~samples:3 ~inner:1 (fun () ->
+          ignore (windowed_run ~window:1 ~ack_delay:0 ~size:8192 ~count:183))
+      /. 1e6
+    in
+    Printf.printf
+      "  wall clock (this machine):\n\
+      \    engine 1k timer events   %8.0f ns/run  (baseline %.0f, speedup \
+       %.2fx)\n\
+      \    engine schedule+cancel   %8.0f ns/run\n\
+      \    fig7 RMP 8KB point       %8.1f ms\n"
+      engine_ns baseline_engine_1k_ns
+      (baseline_engine_1k_ns /. engine_ns)
+      cancel_ns fig7_wall;
+    let js =
+      json_of ~engine_ns ~cancel_ns ~fig7_wall_ms:fig7_wall ~sweep ~size
+        ~fleet_off ~fleet_on
+        ~fleet_cfg:(senders, fcount, fsize, coal_us)
+    in
+    let oc = open_out "BENCH_perf.json" in
+    output_string oc js;
+    close_out oc;
+    Printf.printf "  wrote BENCH_perf.json\n"
+  end;
+  if !failures > 0 then begin
+    Printf.printf "  perf: %d check(s) FAILED\n" !failures;
+    exit 1
+  end
+  else Printf.printf "  perf: all deterministic checks passed\n"

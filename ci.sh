@@ -1,10 +1,13 @@
 #!/bin/sh
 # Full local CI: build everything, run the test suite, then the
 # correctness gate (nectar-lint + every scenario under nectar-vet),
-# then the seeded chaos campaigns.
+# then the seeded chaos campaigns and the perf-harness smoke (its
+# assertions are deterministic delivery/batch counts only — wall-clock
+# numbers are never gated in CI).
 set -eux
 
 dune build @all
 dune runtest
 dune build @vet
 dune build @chaos
+dune exec bench/main.exe -- perf-smoke

@@ -90,7 +90,7 @@ let create net ~hub ~port ~name =
     Byte_fifo.create eng ~capacity:Costs.fifo_bytes
       ~name:(name ^ ".out-fifo")
   in
-  let rx_engine = Rx.create eng irq_ctl ~fifo:in_fifo ~name in
+  let rx_engine = Rx.create eng irq_ctl ~fifo:in_fifo ~name () in
   let t =
     {
       cname = name;

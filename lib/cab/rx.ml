@@ -14,10 +14,33 @@ type t = {
   rname : string;
   mutable handler : (Interrupts.ctx -> pending -> unit) option;
   mutable drops : int;
+  mutable coalesce_ns : Sim_time.span;
+  (* receive-completion coalescing (inert at [coalesce_ns = 0]): completion
+     callbacks gather here for up to [coalesce_ns], then run in one
+     interrupt — one dispatch charge for the whole batch *)
+  mutable batch : (Interrupts.ctx -> unit) list; (* newest first *)
+  mutable batch_armed : bool;
+  mutable batches : int;
 }
 
-let create eng irq ~fifo ~name =
-  { eng; irq; fifo; rname = name; handler = None; drops = 0 }
+let create eng irq ~fifo ?(coalesce_ns = 0) ~name () =
+  if coalesce_ns < 0 then invalid_arg "Rx.create: negative coalesce_ns";
+  {
+    eng;
+    irq;
+    fifo;
+    rname = name;
+    handler = None;
+    drops = 0;
+    coalesce_ns;
+    batch = [];
+    batch_armed = false;
+    batches = 0;
+  }
+
+let set_coalesce_ns t ns =
+  if ns < 0 then invalid_arg "Rx.set_coalesce_ns: negative coalesce_ns";
+  t.coalesce_ns <- ns
 
 let set_frame_handler t fn = t.handler <- Some fn
 
@@ -51,14 +74,18 @@ let sink t =
   in
   { Nectar_hub.Network.in_fifo = t.fifo; on_frame_start; on_chunk }
 
-let read_bytes t p n =
+let read_view t p n =
   if p.consumed + n > p.arrived then
-    invalid_arg (t.rname ^ ": Rx.read_bytes beyond arrived data");
+    invalid_arg (t.rname ^ ": Rx.read_view beyond arrived data");
   if not (Byte_fifo.try_pop t.fifo n) then
-    invalid_arg (t.rname ^ ": Rx.read_bytes FIFO underflow");
-  let b = Bytes.sub p.pframe.Nectar_hub.Frame.data p.consumed n in
+    invalid_arg (t.rname ^ ": Rx.read_view FIFO underflow");
+  let pos = p.consumed in
   p.consumed <- p.consumed + n;
-  b
+  (p.pframe.Nectar_hub.Frame.data, pos)
+
+let read_bytes t p n =
+  let data, pos = read_view t p n in
+  Bytes.sub data pos n
 
 (* Copy loop shared by DMA-to-memory and discard: consume bytes as they
    arrive, at memory-DMA speed, invoking [deliver] for each span. *)
@@ -76,6 +103,26 @@ let drain_loop t p ~deliver ~on_done =
         p.consumed <- p.consumed + n
       done;
       on_done ())
+
+(* Run [cb] at interrupt level, either on its own ([coalesce_ns = 0]: one
+   dispatch per completion, the paper's behaviour) or folded into a batch
+   flushed [coalesce_ns] after its first member arrived. *)
+let post_completion t cb =
+  if t.coalesce_ns = 0 then Interrupts.post t.irq ~name:"rx-done" cb
+  else begin
+    t.batch <- cb :: t.batch;
+    if not t.batch_armed then begin
+      t.batch_armed <- true;
+      ignore
+        (Engine.after t.eng t.coalesce_ns (fun () ->
+             t.batch_armed <- false;
+             let cbs = List.rev t.batch in
+             t.batch <- [];
+             t.batches <- t.batches + 1;
+             Interrupts.post t.irq ~name:"rx-done-batch" (fun ictx ->
+                 List.iter (fun cb -> cb ictx) cbs)))
+    end
+  end
 
 let dma_to_memory t p ~dst ~dst_pos ?(watch = []) ~on_complete () =
   let base = p.consumed in
@@ -96,8 +143,7 @@ let dma_to_memory t p ~dst ~dst_pos ?(watch = []) ~on_complete () =
   in
   let on_done () =
     let ok = Nectar_hub.Frame.crc_ok p.pframe in
-    Interrupts.post t.irq ~name:"rx-done" (fun ictx ->
-        on_complete ictx ~crc_ok:ok)
+    post_completion t (fun ictx -> on_complete ictx ~crc_ok:ok)
   in
   drain_loop t p ~deliver ~on_done
 
@@ -106,3 +152,4 @@ let discard t p =
   drain_loop t p ~deliver:(fun ~pos:_ ~len:_ -> ()) ~on_done:(fun () -> ())
 
 let dropped_frames t = t.drops
+let completion_batches t = t.batches

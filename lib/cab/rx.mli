@@ -15,8 +15,22 @@ type t
 type pending
 
 val create :
-  Nectar_sim.Engine.t -> Interrupts.t -> fifo:Nectar_sim.Byte_fifo.t ->
-  name:string -> t
+  Nectar_sim.Engine.t ->
+  Interrupts.t ->
+  fifo:Nectar_sim.Byte_fifo.t ->
+  ?coalesce_ns:Nectar_sim.Sim_time.span ->
+  name:string ->
+  unit ->
+  t
+(** [coalesce_ns] (default 0) enables receive-completion interrupt
+    coalescing: completion callbacks arriving within [coalesce_ns] of the
+    first unflushed one are delivered in a single interrupt, paying one
+    dispatch charge for the whole batch.  0 keeps the paper's
+    one-interrupt-per-frame behaviour exactly. *)
+
+val set_coalesce_ns : t -> Nectar_sim.Sim_time.span -> unit
+(** Adjust the coalescing window at run time (like a NIC's interrupt
+    moderation register); takes effect from the next completion. *)
 
 val set_frame_handler : t -> (Interrupts.ctx -> pending -> unit) -> unit
 (** Interrupt-level handler for start-of-packet; it receives the pending
@@ -34,6 +48,13 @@ val read_bytes : t -> pending -> int -> Bytes.t
     caller charges its own CPU cost.  Raises if the bytes have not arrived
     yet — callers read only within the first chunk from the start-of-packet
     handler. *)
+
+val read_view : t -> pending -> int -> Bytes.t * int
+(** Like {!read_bytes}, but zero-copy: returns the frame's backing store
+    and the offset of the popped span instead of allocating a fresh
+    [Bytes.t].  The datalink header decode runs per frame at interrupt
+    level, so it must not allocate.  The view aliases the frame buffer:
+    decode from it immediately, before the frame is recycled. *)
 
 val dma_to_memory :
   t ->
@@ -55,3 +76,7 @@ val discard : t -> pending -> unit
 
 val dropped_frames : t -> int
 (** Frames discarded (for the datalink's statistics). *)
+
+val completion_batches : t -> int
+(** Coalesced completion batches flushed so far; 0 unless [coalesce_ns]
+    was set. *)

@@ -12,7 +12,10 @@ type binding = {
 type t = {
   rt : Runtime.t;
   cab : Cab.t;
-  bindings : (int, binding) Hashtbl.t;
+  bindings : binding option array;
+      (* indexed by protocol number; the proto field is a u8 on the wire,
+         so 256 slots cover every decodable value and the per-frame demux
+         is a single array load instead of a hash probe *)
   tx_pool : Mailbox.t;
   routes : (int, int list) Hashtbl.t;
   mutable no_buffer : int;
@@ -30,8 +33,8 @@ let rx_frame t ictx pending =
   ctx.work Costs.dl_rx_header_ns;
   t.frames_in_count <- t.frames_in_count + 1;
   let rx = Cab.rx t.cab in
-  let hdr_bytes = Rx.read_bytes rx pending Wire.dl_header_bytes in
-  let hdr = Wire.decode_dl hdr_bytes ~pos:0 in
+  let hdr_bytes, hdr_pos = Rx.read_view rx pending Wire.dl_header_bytes in
+  let hdr = Wire.decode_dl hdr_bytes ~pos:hdr_pos in
   if hdr.Wire.payload_len <> Rx.total pending - Wire.dl_header_bytes then begin
     (* Never size a receive buffer from the wire's claim alone: the DMA
        drains the whole physical frame, so a header whose length field
@@ -42,7 +45,8 @@ let rx_frame t ictx pending =
     Rx.discard rx pending
   end
   else
-    match Hashtbl.find_opt t.bindings hdr.Wire.proto with
+    match Array.unsafe_get t.bindings hdr.Wire.proto with
+    (* safe: proto is a u8 and the array has 256 slots *)
     | None ->
         t.bad_proto <- t.bad_proto + 1;
         Rx.discard rx pending
@@ -86,7 +90,7 @@ let create rt =
     {
       rt;
       cab;
-      bindings = Hashtbl.create 8;
+      bindings = Array.make 256 None;
       tx_pool;
       routes = Hashtbl.create 32;
       no_buffer = 0;
@@ -103,9 +107,11 @@ let create rt =
 let runtime t = t.rt
 
 let register t ~proto binding =
-  if Hashtbl.mem t.bindings proto then
+  if proto < 0 || proto > 255 then
+    invalid_arg "Datalink.register: protocol number must fit in a u8";
+  if Option.is_some t.bindings.(proto) then
     invalid_arg "Datalink.register: protocol already bound";
-  Hashtbl.replace t.bindings proto binding
+  t.bindings.(proto) <- Some binding
 
 let route_to t dst_cab =
   match Hashtbl.find_opt t.routes dst_cab with

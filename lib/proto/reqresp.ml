@@ -14,12 +14,13 @@ type pending = { resp_q : Waitq.t; mutable response : string option }
 type server = {
   mode : server_mode;
   handler : Ctx.t -> string -> string;
-  (* at-most-once duplicate cache: (client_cab, txn) -> response *)
-  replies : (int * int, string) Hashtbl.t;
-  reply_order : (int * int) Queue.t;
+  (* at-most-once duplicate cache, keyed by
+     [Int_key.cab_txn (client_cab, txn)] *)
+  replies : (int, string) Hashtbl.t;
+  reply_order : int Queue.t;
   (* requests whose handler is still running: retransmitted duplicates are
      dropped, not re-executed *)
-  in_flight : (int * int, unit) Hashtbl.t;
+  in_flight : (int, unit) Hashtbl.t;
 }
 
 and server_mode = Thread_server | Upcall_server
@@ -59,8 +60,9 @@ let cache_reply server ~client_cab ~txn response =
     | Some oldest -> Hashtbl.remove server.replies oldest
     | None -> ()
   end;
-  Hashtbl.replace server.replies (client_cab, txn) response;
-  Queue.add (client_cab, txn) server.reply_order
+  let key = Nectar_util.Int_key.cab_txn ~cab:client_cab ~txn in
+  Hashtbl.replace server.replies key response;
+  Queue.add key server.reply_order
 
 let send_response t ctx ~dst_cab ~dst_port ~txn response =
   match
@@ -75,18 +77,19 @@ let send_response t ctx ~dst_cab ~dst_port ~txn response =
 
 let run_handler t ctx server ~client_cab ~dst_port ~txn request =
   ctx.Ctx.work Costs.reqresp_ns;
-  match Hashtbl.find_opt server.replies (client_cab, txn) with
+  let key = Nectar_util.Int_key.cab_txn ~cab:client_cab ~txn in
+  match Hashtbl.find_opt server.replies key with
   | Some cached ->
       t.dups <- t.dups + 1;
       send_response t ctx ~dst_cab:client_cab ~dst_port ~txn cached
   | None ->
-      if Hashtbl.mem server.in_flight (client_cab, txn) then
+      if Hashtbl.mem server.in_flight key then
         (* a retransmission of a request still executing: at-most-once *)
         t.dups <- t.dups + 1
       else begin
-        Hashtbl.replace server.in_flight (client_cab, txn) ();
+        Hashtbl.replace server.in_flight key ();
         let response = server.handler ctx request in
-        Hashtbl.remove server.in_flight (client_cab, txn);
+        Hashtbl.remove server.in_flight key;
         t.served <- t.served + 1;
         cache_reply server ~client_cab ~txn response;
         send_response t ctx ~dst_cab:client_cab ~dst_port ~txn response

@@ -9,11 +9,33 @@ let ty_ack = 1
 
 exception Delivery_timeout of { dst_cab : int; dst_port : int }
 
+(* A data message the windowed sender has transmitted but not yet retired.
+   The buffer must outlive every queued tx copy (the DMA snapshots at queue
+   drain, not at queue time), so disposal waits for both the cumulative ack
+   ([done_]) and the last queued copy ([queued = 0]). *)
+type inflight = {
+  if_seq : int;
+  if_msg : Message.t;
+  mutable if_queued : int; (* tx copies still in the transmit queue *)
+  mutable if_done : bool; (* acked or abandoned *)
+  mutable if_sent_at : Sim_time.t; (* last (re)transmission time *)
+  mutable if_tries : int; (* retransmissions so far *)
+}
+
 type channel = {
-  busy : Resource.t; (* serialises senders: one outstanding message *)
+  busy : Resource.t; (* serialises senders *)
   mutable next_seq : int;
-  mutable acked : int; (* highest acknowledged seq *)
+  mutable acked : int; (* highest acknowledged seq (acks are cumulative) *)
   ack_q : Waitq.t;
+      (* window = 1: the blocked sender waits here for its ack.
+         window > 1: the retransmit daemon waits here for ack progress. *)
+  ch_dst_cab : int;
+  ch_dst_port : int;
+  (* windowed-mode state; inert when window = 1 *)
+  inflight : inflight Queue.t; (* oldest (lowest seq) first *)
+  window_q : Waitq.t; (* admission and [flush] wait for window space *)
+  mutable daemon : bool; (* retransmit daemon started *)
+  mutable failed : bool; (* latched after the retry budget is exhausted *)
 }
 
 type t = {
@@ -22,11 +44,20 @@ type t = {
   input : Mailbox.t;
   rto : Sim_time.span;
   max_retries : int;
-  channels : (int * int, channel) Hashtbl.t; (* (dst_cab, dst_port) *)
-  expected : (int * int, int) Hashtbl.t; (* (src_cab, dst_port) -> next seq *)
+  window : int;
+  ack_delay : Sim_time.span; (* ack coalescing delay; windowed mode only *)
+  channels : (int, channel) Hashtbl.t; (* Int_key.cab_port (dst_cab, dst_port) *)
+  expected : (int, int) Hashtbl.t;
+      (* Int_key.cab_port (src_cab, dst_port) -> next expected seq *)
+  stash : (int, (int, Message.t) Hashtbl.t) Hashtbl.t;
+      (* windowed receiver: out-of-order frames held until the gap fills,
+         keyed like [expected], inner table seq -> message *)
+  ack_timers : (int, unit) Hashtbl.t;
+      (* receiver channels with a coalesced ack pending *)
   mutable delivered_count : int;
   mutable dup_count : int;
   mutable retx_count : int;
+  mutable failed_count : int; (* messages abandoned by the windowed sender *)
 }
 
 (* Header: type u8 | flags u8 | dst_port u16 | src_port u16 | pad u16 |
@@ -41,7 +72,7 @@ let write_header (msg : Message.t) ~ty ~dst_port ~seq =
   Message.set_u32 msg 8 seq
 
 let channel t ~dst_cab ~dst_port =
-  let key = (dst_cab, dst_port) in
+  let key = Nectar_util.Int_key.cab_port ~cab:dst_cab ~port:dst_port in
   match Hashtbl.find_opt t.channels key with
   | Some c -> c
   | None ->
@@ -55,6 +86,12 @@ let channel t ~dst_cab ~dst_port =
           next_seq = 1;
           acked = 0;
           ack_q = Waitq.create eng ~name:"rmp-ack" ();
+          ch_dst_cab = dst_cab;
+          ch_dst_port = dst_port;
+          inflight = Queue.create ();
+          window_q = Waitq.create eng ~name:"rmp-window" ();
+          daemon = false;
+          failed = false;
         }
       in
       Hashtbl.replace t.channels key c;
@@ -68,6 +105,150 @@ let send_ack t ctx ~dst_cab ~dst_port ~seq =
       Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_rmp ~msg:ack
         ~on_done:Mailbox.dispose
 
+(* {2 Windowed sender} *)
+
+let release_entry ctx entry =
+  if entry.if_done && entry.if_queued = 0 then Mailbox.dispose ctx entry.if_msg
+
+let transmit t ctx c entry =
+  entry.if_queued <- entry.if_queued + 1;
+  entry.if_sent_at <- Engine.now (Runtime.engine t.rt);
+  Datalink.output ctx t.dl ~dst_cab:c.ch_dst_cab ~proto:Wire.proto_rmp
+    ~msg:entry.if_msg
+    ~on_done:(fun ctx _ ->
+      entry.if_queued <- entry.if_queued - 1;
+      release_entry ctx entry)
+
+(* Retransmit daemon: one system thread per windowed channel.  Only the
+   head of the window is retransmitted — cumulative acks mean a head
+   retransmission is exactly what fills the receiver's gap (the receiver
+   stashes the later frames it already has). *)
+let daemon_body t c (dctx : Ctx.t) =
+  let eng = Runtime.engine t.rt in
+  while true do
+    match Queue.peek_opt c.inflight with
+    | None -> Waitq.wait c.ack_q
+    | Some e ->
+        let deadline = e.if_sent_at + t.rto in
+        let now = Engine.now eng in
+        if now < deadline then
+          (* Signaled (ack progress: head may have been retired) or timed
+             out (head due for retransmission): either way, re-examine. *)
+          ignore (Waitq.wait_timeout c.ack_q (deadline - now))
+        else if e.if_tries >= t.max_retries then begin
+          (* Retry budget exhausted: latch the channel as failed and
+             abandon the whole window; [send]/[flush] surface it. *)
+          c.failed <- true;
+          Queue.iter
+            (fun e ->
+              t.failed_count <- t.failed_count + 1;
+              e.if_done <- true;
+              release_entry dctx e)
+            c.inflight;
+          Queue.clear c.inflight;
+          ignore (Waitq.broadcast c.window_q)
+        end
+        else begin
+          e.if_tries <- e.if_tries + 1;
+          t.retx_count <- t.retx_count + 1;
+          transmit t dctx c e
+        end
+  done
+
+let ensure_daemon t c =
+  if not c.daemon then begin
+    c.daemon <- true;
+    ignore
+      (Thread.create (Runtime.cab t.rt) ~priority:Thread.System
+         ~name:(Printf.sprintf "rmp-retx-%d-%d" c.ch_dst_cab c.ch_dst_port)
+         (daemon_body t c))
+  end
+
+(* {2 Receiver} *)
+
+let deliver t ctx (msg : Message.t) ~dst_port =
+  Message.adjust_head msg header_bytes;
+  match Runtime.mailbox_at t.rt ~port:dst_port with
+  | Some mbox ->
+      t.delivered_count <- t.delivered_count + 1;
+      Mailbox.enqueue ctx msg mbox
+  | None -> Mailbox.dispose ctx msg
+
+(* Cumulative ack for a receive channel, optionally coalesced: within
+   [ack_delay] of the first unacknowledged delivery, further deliveries
+   ride on the same pending ack.  The timer fires outside interrupt
+   context, so the ack itself is posted as an interrupt (acks charge
+   interrupt-level CPU, like all RMP protocol work). *)
+let schedule_ack t ctx ~src_cab ~dst_port key =
+  let cum_seq () =
+    Option.value (Hashtbl.find_opt t.expected key) ~default:1 - 1
+  in
+  if t.ack_delay = 0 then
+    send_ack t ctx ~dst_cab:src_cab ~dst_port ~seq:(cum_seq ())
+  else if not (Hashtbl.mem t.ack_timers key) then begin
+    Hashtbl.replace t.ack_timers key ();
+    ignore
+      (Engine.after (Runtime.engine t.rt) t.ack_delay (fun () ->
+           Nectar_cab.Interrupts.post
+             (Nectar_cab.Cab.irq (Runtime.cab t.rt))
+             ~name:"rmp-coalesced-ack"
+             (fun ictx ->
+               Hashtbl.remove t.ack_timers key;
+               let ctx = Ctx.of_interrupt ictx in
+               send_ack t ctx ~dst_cab:src_cab ~dst_port ~seq:(cum_seq ()))))
+  end
+
+let stash_for t key =
+  match Hashtbl.find_opt t.stash key with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.replace t.stash key s;
+      s
+
+(* Windowed data path: in-order frames are delivered immediately and drain
+   any stashed successors; out-of-order frames are stashed (bounded) so a
+   single head retransmission repairs a loss without resending the rest of
+   the window. *)
+let windowed_data t ctx (msg : Message.t) ~src_cab ~dst_port ~seq key =
+  let expected = Option.value (Hashtbl.find_opt t.expected key) ~default:1 in
+  if seq < expected then begin
+    t.dup_count <- t.dup_count + 1;
+    schedule_ack t ctx ~src_cab ~dst_port key;
+    Mailbox.dispose ctx msg
+  end
+  else if seq = expected then begin
+    deliver t ctx msg ~dst_port;
+    let next = ref (seq + 1) in
+    let s = stash_for t key in
+    let continue_drain = ref (Hashtbl.length s > 0) in
+    while !continue_drain do
+      match Hashtbl.find_opt s !next with
+      | Some stashed ->
+          Hashtbl.remove s !next;
+          deliver t ctx stashed ~dst_port;
+          incr next
+      | None -> continue_drain := false
+    done;
+    Hashtbl.replace t.expected key !next;
+    schedule_ack t ctx ~src_cab ~dst_port key
+  end
+  else begin
+    (* gap: the frame for [expected] was lost or reordered *)
+    let s = stash_for t key in
+    if Hashtbl.mem s seq then begin
+      t.dup_count <- t.dup_count + 1;
+      Mailbox.dispose ctx msg
+    end
+    else if Hashtbl.length s >= 2 * t.window then
+      (* stash full (sender far ahead): drop without acknowledging; the
+         sender's retransmissions will resupply *)
+      Mailbox.dispose ctx msg
+    else Hashtbl.replace s seq msg;
+    (* re-ack the cumulative front so a lost ack cannot stall the sender *)
+    schedule_ack t ctx ~src_cab ~dst_port key
+  end
+
 (* Interrupt-level input processing for both DATA and ACK frames. *)
 let end_of_data t ctx (msg : Message.t) ~src_cab =
   ctx.Ctx.work Costs.rmp_ns;
@@ -80,12 +261,32 @@ let end_of_data t ctx (msg : Message.t) ~src_cab =
       let c = channel t ~dst_cab:src_cab ~dst_port in
       if seq > c.acked then begin
         c.acked <- seq;
+        (* retire acknowledged window entries (empty when window = 1: the
+           blocked sender owns its buffer) *)
+        let continue_retire = ref (not (Queue.is_empty c.inflight)) in
+        while !continue_retire do
+          match Queue.peek_opt c.inflight with
+          | Some e when e.if_seq <= c.acked ->
+              ignore (Queue.pop c.inflight);
+              e.if_done <- true;
+              release_entry ctx e;
+              ignore (Waitq.broadcast c.window_q)
+          | _ -> continue_retire := false
+        done;
+        (* An ack that advances the window restarts the retransmit clock
+           for the newly exposed head.  Its own [if_sent_at] was stamped
+           when it was handed to the datalink, which at deep windows
+           predates its actual wire slot by many frame times — judged
+           against that stamp, a clean pipeline looks timed out. *)
+        (match Queue.peek_opt c.inflight with
+        | Some e -> e.if_sent_at <- Engine.now (Runtime.engine t.rt)
+        | None -> ());
         ignore (Waitq.broadcast c.ack_q)
       end;
       Mailbox.dispose ctx msg
     end
-    else begin
-      let key = (src_cab, dst_port) in
+    else if t.window = 1 then begin
+      let key = Nectar_util.Int_key.cab_port ~cab:src_cab ~port:dst_port in
       let expected =
         Option.value (Hashtbl.find_opt t.expected key) ~default:1
       in
@@ -106,12 +307,21 @@ let end_of_data t ctx (msg : Message.t) ~src_cab =
         | None -> Mailbox.dispose ctx msg
       end
     end
+    else
+      let key = Nectar_util.Int_key.cab_port ~cab:src_cab ~port:dst_port in
+      windowed_data t ctx msg ~src_cab ~dst_port ~seq key
   end
 
-let create dl ?(rto = Sim_time.ms 5) ?(max_retries = 8) () =
+let create dl ?(rto = Sim_time.ms 5) ?(max_retries = 8) ?(window = 1)
+    ?(ack_delay = 0) () =
+  if window < 1 then invalid_arg "Rmp.create: window must be >= 1";
+  if ack_delay < 0 then invalid_arg "Rmp.create: negative ack_delay";
   let rt = Datalink.runtime dl in
   let input =
-    Runtime.create_mailbox rt ~name:"rmp-input" ~byte_limit:(128 * 1024)
+    (* a windowed receiver may hold a stash of out-of-order frames on top
+       of the frames in flight, so scale the input pool with the window *)
+    Runtime.create_mailbox rt ~name:"rmp-input"
+      ~byte_limit:(128 * 1024 * min window 16)
       ~cached_buffer_bytes:0 ()
   in
   let t =
@@ -121,11 +331,16 @@ let create dl ?(rto = Sim_time.ms 5) ?(max_retries = 8) () =
       input;
       rto;
       max_retries;
+      window;
+      ack_delay;
       channels = Hashtbl.create 8;
       expected = Hashtbl.create 8;
+      stash = Hashtbl.create 8;
+      ack_timers = Hashtbl.create 8;
       delivered_count = 0;
       dup_count = 0;
       retx_count = 0;
+      failed_count = 0;
     }
   in
   Datalink.register dl ~proto:Wire.proto_rmp
@@ -142,8 +357,9 @@ let alloc ctx t n =
   Message.adjust_head msg header_bytes;
   msg
 
-let send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
-  Ctx.assert_may_block ctx "Rmp.send";
+(* Stop-and-wait send (window = 1): blocks until the ack, exactly the
+   paper's protocol. *)
+let stop_and_wait_send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
   let c = channel t ~dst_cab ~dst_port in
   Resource.with_held c.busy (fun () ->
       ctx.work Costs.rmp_ns;
@@ -189,11 +405,59 @@ let send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
       sender_done := true;
       release ctx)
 
+(* Windowed send: blocks only for window admission; the ack, retransmission
+   and buffer disposal are handled asynchronously (ack handler + daemon). *)
+let windowed_send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
+  let c = channel t ~dst_cab ~dst_port in
+  Resource.with_held c.busy (fun () ->
+      if c.failed then raise (Delivery_timeout { dst_cab; dst_port });
+      ctx.work Costs.rmp_ns;
+      while Queue.length c.inflight >= t.window && not c.failed do
+        Waitq.wait c.window_q
+      done;
+      if c.failed then raise (Delivery_timeout { dst_cab; dst_port });
+      let seq = c.next_seq in
+      c.next_seq <- seq + 1;
+      Message.push_head msg header_bytes;
+      write_header msg ~ty:ty_data ~dst_port ~seq;
+      let entry =
+        {
+          if_seq = seq;
+          if_msg = msg;
+          if_queued = 0;
+          if_done = false;
+          if_sent_at = 0;
+          if_tries = 0;
+        }
+      in
+      Queue.add entry c.inflight;
+      transmit t ctx c entry;
+      ensure_daemon t c;
+      (* wake the daemon so its retransmit deadline covers the new head *)
+      ignore (Waitq.broadcast c.ack_q))
+
+let send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
+  Ctx.assert_may_block ctx "Rmp.send";
+  if t.window = 1 then stop_and_wait_send ctx t ~dst_cab ~dst_port msg
+  else windowed_send ctx t ~dst_cab ~dst_port msg
+
+let flush (ctx : Ctx.t) t ~dst_cab ~dst_port =
+  Ctx.assert_may_block ctx "Rmp.flush";
+  if t.window > 1 then begin
+    let c = channel t ~dst_cab ~dst_port in
+    while not (Queue.is_empty c.inflight || c.failed) do
+      Waitq.wait c.window_q
+    done;
+    if c.failed then raise (Delivery_timeout { dst_cab; dst_port })
+  end
+
 let send_string ctx t ~dst_cab ~dst_port s =
   let msg = alloc ctx t (String.length s) in
   Message.write_string msg 0 s;
   send ctx t ~dst_cab ~dst_port msg
 
+let window t = t.window
 let delivered t = t.delivered_count
 let duplicates t = t.dup_count
 let retransmits t = t.retx_count
+let failed_sends t = t.failed_count

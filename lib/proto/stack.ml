@@ -11,7 +11,7 @@ type t = {
 }
 
 let create rt ?(tcp_checksum = true) ?(udp_checksum = true) ?mtu ?tcp_mss
-    ?tcp_input_mode ?rpc_rto ?rpc_retries () =
+    ?tcp_input_mode ?rpc_rto ?rpc_retries ?rmp_window ?rmp_ack_delay () =
   let dl = Datalink.create rt in
   let ip = Ipv4.create dl ?mtu () in
   let icmp = Icmp.create ip in
@@ -21,7 +21,7 @@ let create rt ?(tcp_checksum = true) ?(udp_checksum = true) ?mtu ?tcp_mss
       ?input_mode:tcp_input_mode ()
   in
   let dgram = Dgram.create dl in
-  let rmp = Rmp.create dl () in
+  let rmp = Rmp.create dl ?window:rmp_window ?ack_delay:rmp_ack_delay () in
   let reqresp = Reqresp.create dl ?rto:rpc_rto ?max_retries:rpc_retries () in
   { rt; dl; ip; icmp; udp; tcp; dgram; rmp; reqresp }
 

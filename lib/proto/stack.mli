@@ -23,8 +23,12 @@ val create :
   ?tcp_input_mode:[ `Thread | `Interrupt ] ->
   ?rpc_rto:Nectar_sim.Sim_time.span ->
   ?rpc_retries:int ->
+  ?rmp_window:int ->
+  ?rmp_ack_delay:Nectar_sim.Sim_time.span ->
   unit ->
   t
+(** [rmp_window]/[rmp_ack_delay] select the beyond-the-paper sliding-window
+    RMP (see {!Rmp.create}); the defaults keep the paper's stop-and-wait. *)
 
 val node_id : t -> int
 val addr : t -> Ipv4.addr

@@ -85,7 +85,7 @@ and t = {
   sw_checksum : bool;
   mss : int;
   window_limit : int;
-  conns : (int * int * int, conn) Hashtbl.t; (* (lport, raddr, rport) *)
+  conns : (int, conn) Hashtbl.t; (* Int_key.tcp_conn (lport, raddr, rport) *)
   by_id : (int, conn) Hashtbl.t;
   listeners : (int, conn -> unit) Hashtbl.t;
   timer_lock : Lock.Mutex.t;
@@ -311,13 +311,14 @@ let make_conn t ~lport ~raddr ~rport ~st ~iss ~rcv_nxt =
                    emit ctx c ~flags:fl_ack ~seq:c.snd_nxt ~payload_n:0
                | _ -> ())
          end));
-  Hashtbl.replace t.conns (lport, raddr, rport) c;
+  Hashtbl.replace t.conns (Nectar_util.Int_key.tcp_conn ~lport ~raddr ~rport) c;
   Hashtbl.replace t.by_id id c;
   c
 
 let remove_conn c =
   let t = c.tcp in
-  Hashtbl.remove t.conns (c.lport, c.raddr, c.rport);
+  Hashtbl.remove t.conns
+    (Nectar_util.Int_key.tcp_conn ~lport:c.lport ~raddr:c.raddr ~rport:c.rport);
   Hashtbl.remove t.by_id c.id;
   disarm_rtx c
 
@@ -550,7 +551,11 @@ let process_segment (ctx : Ctx.t) t msg =
         Mailbox.dispose ctx msg
       end
       else begin
-        match Hashtbl.find_opt t.conns (dport, h.Ipv4.src, sport) with
+        match
+          Hashtbl.find_opt t.conns
+            (Nectar_util.Int_key.tcp_conn ~lport:dport ~raddr:h.Ipv4.src
+               ~rport:sport)
+        with
         | Some c ->
             let consumed =
               with_conn ctx c (fun () ->

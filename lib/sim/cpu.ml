@@ -31,10 +31,12 @@ type t = {
 
 (* Highest priority first; FIFO (by seq) within a priority class.  A
    preempted request keeps its original seq, so it re-enters ahead of
-   same-priority requests that arrived after it. *)
+   same-priority requests that arrived after it.  [Int.compare], not the
+   polymorphic [compare]: the ready queue is popped on every dispatch and a
+   polymorphic comparison here costs a C call per heap level. *)
 let cmp_requests a b =
-  if a.priority <> b.priority then compare b.priority a.priority
-  else compare a.seq b.seq
+  if a.priority <> b.priority then Int.compare b.priority a.priority
+  else Int.compare a.seq b.seq
 
 let create eng ~name () =
   {

@@ -68,3 +68,10 @@ val run : ?until:Sim_time.t -> t -> unit
     simply never resume — this is normal for server-style processes. *)
 
 val pending_events : t -> int
+(** Live (not-cancelled) events still scheduled.  O(1). *)
+
+val queued_events : t -> int
+(** Physical size of the event heap, including cancelled entries awaiting
+    lazy removal.  The engine compacts when cancelled entries outnumber
+    live ones, so this stays within 2x of {!pending_events} (above a small
+    constant threshold); exposed so tests can assert the bound. *)

@@ -1,6 +1,12 @@
 (** Imperative polymorphic binary min-heap, parameterised by a comparison
-    function at creation time.  Used for the simulator event queue and the
-    CPU ready queue. *)
+    function at creation time.  Used for the CPU ready queue (the simulator
+    event queue has its own specialised heap inlined in
+    [Nectar_sim.Engine]).
+
+    Performance note: [cmp] is called O(log n) times per push/pop, through a
+    closure.  Pass a monomorphic comparison ([Int.compare] on int fields,
+    not the polymorphic [compare], which is a C call per invocation) — every
+    current caller does. *)
 
 type 'a t
 

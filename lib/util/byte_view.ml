@@ -3,9 +3,15 @@ let set_u8 b i v = Bytes.set_uint8 b i (v land 0xff)
 let get_u16 b i = Bytes.get_uint16_be b i
 let set_u16 b i v = Bytes.set_uint16_be b i (v land 0xffff)
 
-let get_u32 b i = Int32.to_int (Bytes.get_int32_be b i) land 0xffffffff
+(* Composed from 16-bit accesses rather than [Bytes.get_int32_be]: the
+   [Int32.t] round trip boxes on every call, and u32 reads/writes sit on
+   the per-frame header encode/decode path. *)
+let get_u32 b i =
+  (Bytes.get_uint16_be b i lsl 16) lor Bytes.get_uint16_be b (i + 2)
 
-let set_u32 b i v = Bytes.set_int32_be b i (Int32.of_int (v land 0xffffffff))
+let set_u32 b i v =
+  Bytes.set_uint16_be b i ((v lsr 16) land 0xffff);
+  Bytes.set_uint16_be b (i + 2) (v land 0xffff)
 
 let blit ~src ~src_pos ~dst ~dst_pos ~len = Bytes.blit src src_pos dst dst_pos len
 

@@ -77,6 +77,102 @@ let test_rmp_blackhole () =
   check_int "every send errored with Delivery_timeout" 3 err;
   check_int "nothing received" 0 received
 
+(* ---------- sliding-window RMP (beyond the paper) ---------- *)
+
+(* Like [rmp_run] but over stacks built with an explicit RMP window, with
+   every payload stamped with its 1-based index so the sink can verify
+   in-order exactly-once delivery.  [stack_opts = None] uses the default
+   stack (implicit window 1) for the equivalence test below. *)
+let windowed_run ?stack_opts ~drop ~seed ~count () =
+  let w = Chaos.build_world ?stack_opts () in
+  let a = w.Chaos.stacks.(0) and b = w.Chaos.stacks.(1) in
+  wire_faults ~drop ~seed w;
+  let inbox =
+    Runtime.create_mailbox b.Stack.rt ~name:"sink" ~port
+      ~byte_limit:(256 * 1024) ()
+  in
+  let got = ref [] in
+  ignore
+    (Thread.create (Runtime.cab b.Stack.rt) ~name:"sink" (fun ctx ->
+         while true do
+           let m = Mailbox.begin_get ctx inbox in
+           got := Message.get_u32 m 0 :: !got;
+           Mailbox.end_get ctx m
+         done));
+  let ok = ref 0 and err = ref 0 in
+  ignore
+    (Thread.create (Runtime.cab a.Stack.rt) ~name:"src" (fun ctx ->
+         try
+           for i = 1 to count do
+             let msg = Rmp.alloc ctx a.Stack.rmp 128 in
+             Message.set_u32 msg 0 i;
+             Rmp.send ctx a.Stack.rmp ~dst_cab:(Stack.node_id b)
+               ~dst_port:port msg;
+             incr ok
+           done;
+           Rmp.flush ctx a.Stack.rmp ~dst_cab:(Stack.node_id b) ~dst_port:port
+         with Rmp.Delivery_timeout _ -> incr err));
+  Engine.run w.Chaos.eng;
+  let counters =
+    ( Rmp.delivered b.Stack.rmp,
+      Rmp.duplicates b.Stack.rmp,
+      Rmp.retransmits a.Stack.rmp,
+      Rmp.failed_sends a.Stack.rmp )
+  in
+  (!ok, !err, List.rev !got, counters, Engine.now w.Chaos.eng)
+
+let windowed_opts ~window (rt : Runtime.t) =
+  Stack.create rt ~rmp_window:window ()
+
+let test_rmp_windowed_loss_sweep () =
+  List.iter
+    (fun window ->
+      List.iter
+        (fun drop ->
+          let name fmt =
+            Printf.sprintf "%s at window %d drop %.2f" fmt window drop
+          in
+          (* under the full vet battery: the windowed receiver holds
+             stashed out-of-order frames in two-phase puts, and every one
+             must be released by the end of the run *)
+          let outcome, findings =
+            Nectar_vet.Vet.run (fun () ->
+                windowed_run
+                  ~stack_opts:(windowed_opts ~window)
+                  ~drop ~seed:7 ~count:20 ())
+          in
+          check_int (name "vet clean") 0 (List.length findings);
+          let ok, err, got, (delivered, _dups, retx, failed), _ =
+            match outcome with Ok r -> r | Error e -> raise e
+          in
+          check_int (name "all sends admitted") 20 ok;
+          check_int (name "no errors") 0 err;
+          check_int (name "delivered counter") 20 delivered;
+          check_int (name "no abandoned sends") 0 failed;
+          check_bool (name "in order, exactly once") true
+            (got = List.init 20 (fun i -> i + 1));
+          if drop = 0.0 then
+            check_int (name "no retransmits on a clean wire") 0 retx
+          else
+            check_bool (name "losses were repaired by retransmission") true
+              (retx > 0))
+        [ 0.0; 0.05; 0.2 ])
+    [ 1; 4; 16 ]
+
+(* A stack built with ~rmp_window:1 must be byte-identical to the default
+   stop-and-wait: same counters and the same final simulated time. *)
+let test_rmp_window1_is_stop_and_wait () =
+  let run stack_opts = windowed_run ?stack_opts ~drop:0.2 ~seed:7 ~count:20 () in
+  let ok_d, err_d, got_d, counters_d, end_d = run None in
+  let ok_1, err_1, got_1, counters_1, end_1 =
+    run (Some (windowed_opts ~window:1))
+  in
+  check_int "ok equal" ok_d ok_1;
+  check_int "err equal" err_d err_1;
+  check_bool "delivery order equal" true (got_d = got_1);
+  check_bool "counters equal" true (counters_d = counters_1);
+  check_int "final simulated time equal" end_d end_1
+
 (* ---------- request-response sweeps ---------- *)
 
 let rpc_run ~drop ~seed ~count =
@@ -345,6 +441,10 @@ let () =
         [
           Alcotest.test_case "loss sweep" `Quick test_rmp_loss_sweep;
           Alcotest.test_case "blackhole" `Quick test_rmp_blackhole;
+          Alcotest.test_case "windowed loss sweep" `Quick
+            test_rmp_windowed_loss_sweep;
+          Alcotest.test_case "window 1 = stop-and-wait" `Quick
+            test_rmp_window1_is_stop_and_wait;
         ] );
       ( "rpc",
         [

@@ -144,6 +144,29 @@ let test_pending_events_counts_live_only () =
   check_int "one live after cancel" 1 (Engine.pending_events eng);
   Engine.run eng
 
+let test_cancel_storm_compacts () =
+  (* The RTO pattern: thousands of timers scheduled and almost all
+     cancelled before firing.  Lazy cancellation must not let dead entries
+     accumulate: the physical heap stays within 2x of the live events
+     (plus the engine's small compaction threshold), and the events that
+     do fire are unaffected. *)
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  let live = ref 0 in
+  for i = 1 to 10_000 do
+    let tm = Engine.after eng (us i) (fun () -> incr fired) in
+    if i mod 10 <> 0 then Engine.cancel tm else incr live
+  done;
+  check_int "live events" !live (Engine.pending_events eng);
+  check_bool
+    (Printf.sprintf "heap bounded (queued %d, pending %d)"
+       (Engine.queued_events eng) (Engine.pending_events eng))
+    true
+    (Engine.queued_events eng <= (2 * Engine.pending_events eng) + 64);
+  Engine.run eng;
+  check_int "only live timers fired" !live !fired;
+  check_int "drained" 0 (Engine.queued_events eng)
+
 let test_spawned_during_run () =
   let eng = Engine.create () in
   let log = ref [] in
@@ -256,6 +279,8 @@ let () =
         [
           Alcotest.test_case "pending events" `Quick
             test_pending_events_counts_live_only;
+          Alcotest.test_case "cancel storm compacts" `Quick
+            test_cancel_storm_compacts;
           Alcotest.test_case "spawn during run" `Quick test_spawned_during_run;
         ] );
       ( "core-extras",

@@ -160,6 +160,51 @@ let test_heap_basics () =
   check_int "pop" 3 (Binary_heap.pop_exn h);
   Alcotest.(check (option int)) "pop empty" None (Binary_heap.pop h)
 
+(* ---------- Int_key ---------- *)
+
+let test_int_key_rejects_out_of_range () =
+  let rejects name f = Alcotest.check_raises name
+      (Invalid_argument ("Int_key." ^ name ^ ": component out of range"))
+      (fun () -> ignore (f ()))
+  in
+  rejects "cab_port" (fun () -> Int_key.cab_port ~cab:(-1) ~port:0);
+  rejects "cab_port" (fun () -> Int_key.cab_port ~cab:0 ~port:0x1_0000);
+  rejects "cab_txn" (fun () -> Int_key.cab_txn ~cab:0x4000_0000 ~txn:0);
+  rejects "cab_txn" (fun () -> Int_key.cab_txn ~cab:0 ~txn:0x1_0000_0000);
+  rejects "tcp_conn" (fun () ->
+      Int_key.tcp_conn ~lport:0 ~raddr:(-3) ~rport:0);
+  rejects "tcp_conn" (fun () ->
+      Int_key.tcp_conn ~lport:0x1_0000 ~raddr:0 ~rport:0)
+
+let gen_port = QCheck2.Gen.int_range 0 0xffff
+let gen_cab = QCheck2.Gen.int_range 0 0x3fff_ffff
+let gen_txn = QCheck2.Gen.int_range 0 0xffff_ffff
+
+let prop_cab_port_injective =
+  QCheck2.Test.make ~name:"cab_port distinct inputs -> distinct keys"
+    QCheck2.Gen.(quad gen_cab gen_port gen_cab gen_port)
+    (fun (c1, p1, c2, p2) ->
+      let k1 = Int_key.cab_port ~cab:c1 ~port:p1
+      and k2 = Int_key.cab_port ~cab:c2 ~port:p2 in
+      (k1 = k2) = (c1 = c2 && p1 = p2))
+
+let prop_cab_txn_injective =
+  QCheck2.Test.make ~name:"cab_txn distinct inputs -> distinct keys"
+    QCheck2.Gen.(quad gen_cab gen_txn gen_cab gen_txn)
+    (fun (c1, x1, c2, x2) ->
+      let k1 = Int_key.cab_txn ~cab:c1 ~txn:x1
+      and k2 = Int_key.cab_txn ~cab:c2 ~txn:x2 in
+      (k1 = k2) = (c1 = c2 && x1 = x2))
+
+let prop_tcp_conn_injective =
+  QCheck2.Test.make ~name:"tcp_conn distinct inputs -> distinct keys"
+    QCheck2.Gen.(
+      pair (triple gen_port gen_cab gen_port) (triple gen_port gen_cab gen_port))
+    (fun ((l1, a1, r1), (l2, a2, r2)) ->
+      let k1 = Int_key.tcp_conn ~lport:l1 ~raddr:a1 ~rport:r1
+      and k2 = Int_key.tcp_conn ~lport:l2 ~raddr:a2 ~rport:r2 in
+      (k1 = k2) = (l1 = l2 && a1 = a2 && r1 = r2))
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -191,5 +236,13 @@ let () =
           Alcotest.test_case "basics" `Quick test_heap_basics;
           qtest prop_heap_drains_sorted;
           qtest prop_heap_interleaved_model;
+        ] );
+      ( "int_key",
+        [
+          Alcotest.test_case "out of range" `Quick
+            test_int_key_rejects_out_of_range;
+          qtest prop_cab_port_injective;
+          qtest prop_cab_txn_injective;
+          qtest prop_tcp_conn_injective;
         ] );
     ]
