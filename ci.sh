@@ -2,8 +2,8 @@
 # Full local CI: build everything, run the test suite, then the
 # correctness gate (nectar-lint + every scenario under nectar-vet),
 # then the seeded chaos campaigns and the perf-harness smoke (its
-# assertions are deterministic delivery/batch counts only — wall-clock
-# numbers are never gated in CI).
+# assertions are deterministic delivery/batch counts and exact
+# zero-copy byte counters — wall-clock numbers are never gated in CI).
 set -eux
 
 dune build @all

@@ -3,9 +3,9 @@ open Nectar_sim
 type tx_req = {
   route : int list;
   header_bytes : int;
-  data : Bytes.t;
-  pos : int;
+  extents : (Bytes.t * int * int) list;
   len : int;
+  release : unit -> unit;
   on_done : Interrupts.ctx -> unit;
 }
 
@@ -37,13 +37,17 @@ let tx_dma_process t () =
       Waitq.wait t.tx_ready
     done;
     let req = Queue.take t.tx_queue in
-    (* Snapshot the frame up front; the simulated DMA then reads it out of
-       memory into the output FIFO at memory speed. *)
-    let data = Bytes.sub req.data req.pos req.len in
+    (* Zero-copy: the frame's scatter/gather extents reference the sender's
+       buffers directly (the hardware CRC is latched here, at dequeue time);
+       the simulated DMA then reads them out of memory into the output FIFO
+       at memory speed.  The buffer references travel with the frame and are
+       dropped when the receiver drains it (or the wire swallows it) — the
+       sender's [on_done] still fires right after the output-FIFO DMA, as
+       the hardware's descriptor-complete interrupt always did. *)
     let frame =
-      Nectar_hub.Frame.create
+      Nectar_hub.Frame.create_sg
         ~id:(Nectar_hub.Network.next_frame_id t.net)
-        ~src:t.nid ~data
+        ~src:t.nid ~extents:req.extents ~on_release:req.release
     in
     Queue.add
       { frame; froute = req.route; fhdr = req.header_bytes }
@@ -140,9 +144,11 @@ let crash t = Nectar_hub.Network.set_node_up t.net t.nid false
 let restart t = Nectar_hub.Network.set_node_up t.net t.nid true
 let powered t = Nectar_hub.Network.node_up t.net t.nid
 
-let send_frame t ~route ~header_bytes ~data ~pos ~len ~on_done =
+let send_frame t ~route ~header_bytes ?(release = fun () -> ()) ~extents
+    ~on_done () =
+  let len = List.fold_left (fun acc (_, _, n) -> acc + n) 0 extents in
   if len <= 0 then invalid_arg "Cab.send_frame: empty frame";
-  Queue.add { route; header_bytes; data; pos; len; on_done } t.tx_queue;
+  Queue.add { route; header_bytes; extents; len; release; on_done } t.tx_queue;
   ignore (Waitq.signal t.tx_ready)
 
 let frames_tx t = Stats.Counter.value t.tx_count

@@ -5,12 +5,14 @@
     the interrupt controller and the VME interface, attached to a HUB port.
 
     The transmit path mirrors the hardware pipeline: {!send_frame} enqueues
-    a descriptor; the DMA engine copies the frame from CAB memory into the
+    a descriptor whose scatter/gather extents reference CAB memory in place
+    (zero-copy); the DMA engine reads the frame out of memory into the
     output FIFO (after which [on_done] fires at interrupt level — the
-    sender's buffer is free); a fiber process drains the FIFO onto the wire
-    through the HUB circuit, stalling on FIFO underrun or destination
-    backpressure.  The CPU is never charged for any of this — the paper's
-    central hardware point. *)
+    descriptor is complete, and the frame's [release] callback frees the
+    retained buffer references once the frame's life ends); a fiber process
+    drains the FIFO onto the wire through the HUB circuit, stalling on FIFO
+    underrun or destination backpressure.  The CPU is never charged for any
+    of this — the paper's central hardware point. *)
 
 type t
 
@@ -53,16 +55,22 @@ val send_frame :
   t ->
   route:int list ->
   header_bytes:int ->
-  data:Bytes.t ->
-  pos:int ->
-  len:int ->
+  ?release:(unit -> unit) ->
+  extents:(Bytes.t * int * int) list ->
   on_done:(Interrupts.ctx -> unit) ->
+  unit ->
   unit
-(** Queue a frame (a [len]-byte slice of CAB memory or a scratch buffer) for
-    transmission.  Returns immediately; [on_done] runs at interrupt level
-    once transmit DMA has finished reading the data (the buffer may then be
-    reused).  [header_bytes] is the size of the frame's headers, used to
-    time the receiver's start-of-packet event. *)
+(** Queue a frame for transmission as scatter/gather [extents] referencing
+    CAB memory directly — no snapshot is taken; the zero-copy tx path.
+    Returns immediately; [on_done] runs at interrupt level once transmit
+    DMA has finished reading the data (the *descriptor* is then done — but
+    with the frame aliasing the sender's buffer, the bytes themselves are
+    pinned until the frame dies, which is what [release] observes).
+    [release] fires exactly once when the frame's life ends: after the
+    receiving CAB drains it, or on the wire for dropped/blackholed frames;
+    callers drop their retained buffer references there.  [header_bytes] is
+    the size of the frame's headers, used to time the receiver's
+    start-of-packet event. *)
 
 val frames_tx : t -> int
 

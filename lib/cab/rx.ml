@@ -74,21 +74,41 @@ let sink t =
   in
   { Nectar_hub.Network.in_fifo = t.fifo; on_frame_start; on_chunk }
 
-let read_view t p n =
+(* Take [n] bytes out of the input FIFO, returning their frame offset. *)
+let consume t p n =
   if p.consumed + n > p.arrived then
     invalid_arg (t.rname ^ ": Rx.read_view beyond arrived data");
   if not (Byte_fifo.try_pop t.fifo n) then
     invalid_arg (t.rname ^ ": Rx.read_view FIFO underflow");
   let pos = p.consumed in
   p.consumed <- p.consumed + n;
-  (p.pframe.Nectar_hub.Frame.data, pos)
+  pos
+
+let read_view t p n =
+  let pos = consume t p n in
+  match Nectar_hub.Frame.view p.pframe ~pos ~len:n with
+  | Some (bytes, off) -> (bytes, off)
+  | None ->
+      (* the requested range straddles a scatter/gather extent boundary, so
+         no borrowed view exists; fall back to a (counted) copy *)
+      Nectar_util.Copy_meter.record ~owner:t.rname Nectar_util.Copy_meter.Rxread
+        n;
+      let scratch = Bytes.create n in
+      Nectar_hub.Frame.blit p.pframe ~pos ~dst:scratch ~dst_pos:0 ~len:n;
+      (scratch, 0)
 
 let read_bytes t p n =
-  let data, pos = read_view t p n in
-  Bytes.sub data pos n
+  let pos = consume t p n in
+  Nectar_util.Copy_meter.record ~owner:t.rname Nectar_util.Copy_meter.Rxread n;
+  let out = Bytes.create n in
+  Nectar_hub.Frame.blit p.pframe ~pos ~dst:out ~dst_pos:0 ~len:n;
+  out
 
 (* Copy loop shared by DMA-to-memory and discard: consume bytes as they
-   arrive, at memory-DMA speed, invoking [deliver] for each span. *)
+   arrive, at memory-DMA speed, invoking [deliver] for each span.  Once the
+   whole frame has been drained the receiving CAB is its last holder, so
+   the frame is released here — dropping the sender-side buffer references
+   that backed its extents. *)
 let drain_loop t p ~deliver ~on_done =
   let len = total p in
   Engine.spawn t.eng ~name:(t.rname ^ ".rx-dma") (fun () ->
@@ -102,7 +122,11 @@ let drain_loop t p ~deliver ~on_done =
         deliver ~pos:p.consumed ~len:n;
         p.consumed <- p.consumed + n
       done;
-      on_done ())
+      (* [on_done] first: it captures the hardware CRC verdict from the
+         frame's extents, and the release below may drop the last reference
+         to the sender-side buffer backing them *)
+      on_done ();
+      Nectar_hub.Frame.release p.pframe)
 
 (* Run [cb] at interrupt level, either on its own ([coalesce_ns = 0]: one
    dispatch per completion, the paper's behaviour) or folded into a batch
@@ -128,8 +152,10 @@ let dma_to_memory t p ~dst ~dst_pos ?(watch = []) ~on_complete () =
   let base = p.consumed in
   let remaining_watches = ref (List.sort compare watch) in
   let deliver ~pos ~len =
-    Bytes.blit p.pframe.Nectar_hub.Frame.data pos dst (dst_pos + pos - base)
-      len;
+    (* the modelled receive-DMA engine: hardware moves these bytes, so this
+       is not a software copy and is not metered *)
+    Nectar_hub.Frame.blit p.pframe ~pos ~dst ~dst_pos:(dst_pos + pos - base)
+      ~len;
     let copied_to = pos + len in
     let rec fire () =
       match !remaining_watches with

@@ -44,17 +44,22 @@ val arrived : pending -> int
 val total : pending -> int
 
 val read_bytes : t -> pending -> int -> Bytes.t
-(** Pop the next [n] arrived bytes out of the FIFO (CPU header read).  The
+(** Pop the next [n] arrived bytes out of the FIFO (CPU header read) into a
+    fresh [Bytes.t] — a software copy, metered at the [rxread] site.  The
     caller charges its own CPU cost.  Raises if the bytes have not arrived
     yet — callers read only within the first chunk from the start-of-packet
     handler. *)
 
 val read_view : t -> pending -> int -> Bytes.t * int
-(** Like {!read_bytes}, but zero-copy: returns the frame's backing store
-    and the offset of the popped span instead of allocating a fresh
-    [Bytes.t].  The datalink header decode runs per frame at interrupt
-    level, so it must not allocate.  The view aliases the frame buffer:
-    decode from it immediately, before the frame is recycled. *)
+(** Like {!read_bytes}, but zero-copy: returns a borrowed view (backing
+    store and offset) of the popped span inside the frame's scatter/gather
+    extents — for frames on the zero-copy path, that is the sending CAB's
+    mailbox buffer itself.  The datalink header decode runs per frame at
+    interrupt level, so it must not allocate.  When the span straddles an
+    extent boundary (it never does for the datalink header, which leads the
+    first extent) the implementation falls back to a metered copy.  The
+    view aliases the frame buffer: decode from it immediately, before the
+    frame is recycled. *)
 
 val dma_to_memory :
   t ->
@@ -69,10 +74,13 @@ val dma_to_memory :
     the copy tracks arrival.  Each [(frame_offset, fn)] watch fires (at
     interrupt level) once bytes up to [frame_offset] have been copied;
     [on_complete] fires (at interrupt level) after the last byte, with the
-    hardware CRC check result. *)
+    hardware CRC check result.  The drained frame is {!Nectar_hub.Frame.release}d
+    (the receiver is its last holder), returning the sender-side buffer
+    references behind its extents. *)
 
 val discard : t -> pending -> unit
-(** Drain the rest of the frame from the FIFO without storing it. *)
+(** Drain the rest of the frame from the FIFO without storing it, then
+    release the frame like {!dma_to_memory} does. *)
 
 val dropped_frames : t -> int
 (** Frames discarded (for the datalink's statistics). *)

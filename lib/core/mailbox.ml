@@ -81,7 +81,9 @@ and release t ctx (msg : Message.t) =
   ctx.Ctx.work Costs.mbox_end_get_ns;
   msg.state <- Message.Freed;
   uncharge t msg;
-  msg.free_buffer ()
+  (* drop the owner's buffer reference; the physical free waits for any
+     in-flight transmit extents or slices still reading the bytes *)
+  Message.release msg
 
 and uncharge t (msg : Message.t) =
   t.in_use <- t.in_use - msg.buf_len;
@@ -108,19 +110,28 @@ let take_buffer t (ctx : Ctx.t) n =
 let queue_full t =
   match t.capacity with None -> false | Some c -> Queue.length t.queue >= c
 
-let try_begin_put (ctx : Ctx.t) t n =
+let try_begin_put (ctx : Ctx.t) t ?(headroom = 0) n =
   if n < 0 then invalid_arg "Mailbox.begin_put: negative size";
+  if headroom < 0 then invalid_arg "Mailbox.begin_put: negative headroom";
+  let total = headroom + n in
   ctx.work Costs.mbox_begin_put_ns;
   (* With [`Block] the message-count bound backpressures writers here, at
      allocation time; with [`Drop] the put is admitted and tail-dropped at
      queue time, so the writer never stalls. *)
-  if t.in_use + n > t.limit || (t.overflow = `Block && queue_full t) then None
+  if t.in_use + total > t.limit || (t.overflow = `Block && queue_full t) then
+    None
   else
-    match take_buffer t ctx n with
+    match take_buffer t ctx total with
     | None -> None
     | Some (buf_off, buf_len, free_buffer, cached) ->
         t.in_use <- t.in_use + buf_len;
-        let msg = Message.make ~mem:t.mem ~buf_off ~buf_len ~len:n ~free_buffer in
+        let msg =
+          Message.make ~mem:t.mem ~buf_off ~buf_len ~len:total ~free_buffer
+        in
+        (* the reserved headroom sits in front of the data view; protocol
+           layers reclaim it with [Message.push_head] to prepend headers
+           into the same buffer *)
+        Message.adjust_head msg headroom;
         install t msg;
         Vet_hook.msg_event ctx ~uid:msg.Message.uid ~mailbox:t.mname
           (Vet_hook.Begin_put
@@ -128,12 +139,12 @@ let try_begin_put (ctx : Ctx.t) t n =
                cached });
         Some msg
 
-let begin_put ctx t n =
+let begin_put ctx t ?(headroom = 0) n =
   Ctx.assert_may_block ctx "Mailbox.begin_put";
-  if n > t.limit then
+  if headroom + n > t.limit then
     invalid_arg "Mailbox.begin_put: larger than mailbox byte limit";
   let rec attempt () =
-    match try_begin_put ctx t n with
+    match try_begin_put ctx t ~headroom n with
     | Some msg -> msg
     | None ->
         Vet_hook.blocking ctx ~op:("Mailbox.begin_put " ^ t.mname);
@@ -162,7 +173,7 @@ let queue_message (ctx : Ctx.t) t (msg : Message.t) =
 let release_held (msg : Message.t) =
   msg.state <- Message.Freed;
   msg.on_disown msg;
-  msg.free_buffer ()
+  Message.release msg
 
 (* Tail-drop of a completed put or an enqueued message when a [`Drop]
    mailbox is at capacity: the message is still held by the caller

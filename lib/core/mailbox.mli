@@ -56,8 +56,14 @@ val set_on_space_freed : t -> (unit -> unit) option -> unit
 
 (** {1 Writing} *)
 
-val begin_put : Ctx.t -> t -> int -> Message.t
-val try_begin_put : Ctx.t -> t -> int -> Message.t option
+val begin_put : Ctx.t -> t -> ?headroom:int -> int -> Message.t
+(** [begin_put ctx t ~headroom n] allocates [headroom + n] bytes in one
+    buffer and returns a message of length [n] whose data view starts
+    [headroom] bytes in: protocol layers later [Message.push_head] their
+    headers into the reserved space instead of allocating and copying into
+    a fresh message.  Both headroom and data count against the byte limit. *)
+
+val try_begin_put : Ctx.t -> t -> ?headroom:int -> int -> Message.t option
 val end_put : Ctx.t -> t -> Message.t -> unit
 
 val abort_put : Ctx.t -> t -> Message.t -> unit

@@ -8,6 +8,7 @@ type t = {
   mutable off : int;
   mutable len : int;
   mutable state : state;
+  mutable refs : int;
   free_buffer : unit -> unit;
   mutable on_end_get : Ctx.t -> t -> unit;
   mutable on_disown : t -> unit;
@@ -26,10 +27,41 @@ let make ~mem ~buf_off ~buf_len ~len ~free_buffer =
     off = buf_off;
     len;
     state = Writing;
+    refs = 1;
     free_buffer;
     on_end_get = (fun _ _ -> ());
     on_disown = (fun _ -> ());
   }
+
+(* Reference counting covers the *buffer*, not the two-phase mailbox state:
+   the owner's reference (held from [make]) is dropped by the mailbox free
+   paths, and the transmit path / slices take extra references so the heap
+   block outlives every in-flight view of it.  All refcount traffic is
+   bookkeeping on the simulated CAB — it charges no simulated time. *)
+
+let retain t =
+  if t.refs <= 0 then begin
+    if Vet_hook.installed () then Vet_hook.msg_retain ~uid:t.uid ~refs:t.refs
+    else invalid_arg "Message.retain: message buffer already freed"
+  end
+  else begin
+    t.refs <- t.refs + 1;
+    Vet_hook.msg_retain ~uid:t.uid ~refs:t.refs
+  end
+
+let release t =
+  if t.refs <= 0 then begin
+    if Vet_hook.installed () then
+      Vet_hook.msg_release ~uid:t.uid ~refs:t.refs ~live:false
+    else invalid_arg "Message.release: message buffer already freed"
+  end
+  else begin
+    t.refs <- t.refs - 1;
+    Vet_hook.msg_release ~uid:t.uid ~refs:t.refs ~live:true;
+    if t.refs = 0 then t.free_buffer ()
+  end
+
+let refs t = t.refs
 
 let length t = t.len
 
@@ -107,3 +139,86 @@ let blit_to t ~src_pos ~dst ~dst_pos ~len =
 let blit_from t ~dst_pos ~src ~src_pos ~len =
   bounds t dst_pos len;
   Bytes.blit src src_pos t.mem (t.off + dst_pos) len
+
+(* ---------- refcounted slices ---------- *)
+
+module Slice = struct
+  type msg = t
+
+  type t = {
+    suid : int;
+    src : msg;
+    soff : int; (* absolute offset into src.mem, fixed at creation *)
+    slen : int;
+    mutable live : bool;
+  }
+
+  let suid_counter = ref 0
+
+  let check s op =
+    if not s.live then begin
+      if Vet_hook.installed () then Vet_hook.slice_access ~suid:s.suid ~op
+      else invalid_arg ("Message.Slice: " ^ op ^ " after release")
+    end
+
+  let of_abs (src : msg) ~soff ~slen =
+    retain src;
+    incr suid_counter;
+    let s = { suid = !suid_counter; src; soff; slen; live = true } in
+    Vet_hook.slice_make ~suid:s.suid ~uid:src.uid ~off:soff ~len:slen;
+    s
+
+  let make (m : msg) ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > m.len then
+      invalid_arg "Message.slice: outside message data";
+    of_abs m ~soff:(m.off + pos) ~slen:len
+
+  let sub s ~pos ~len =
+    check s "sub";
+    if pos < 0 || len < 0 || pos + len > s.slen then
+      invalid_arg "Message.Slice.sub: outside slice";
+    of_abs s.src ~soff:(s.soff + pos) ~slen:len
+
+  let release s =
+    if not s.live then begin
+      if Vet_hook.installed () then Vet_hook.slice_release ~suid:s.suid ~live:false
+      else invalid_arg "Message.Slice.release: already released"
+    end
+    else begin
+      s.live <- false;
+      Vet_hook.slice_release ~suid:s.suid ~live:true;
+      release s.src
+    end
+
+  let live s = s.live
+  let length s = s.slen
+  let message s = s.src
+
+  (* Accessors address the slice's fixed window, not the (possibly since
+     adjusted) message view, so a slice stays valid across the owner's
+     header push/strip and even past its dispose — the retained reference
+     keeps the bytes. *)
+
+  let srange s pos n op =
+    check s op;
+    if pos < 0 || n < 0 || pos + n > s.slen then
+      invalid_arg "Message.Slice: access outside slice"
+
+  let get_u8 s i =
+    srange s i 1 "get_u8";
+    Nectar_util.Byte_view.get_u8 s.src.mem (s.soff + i)
+
+  let read_string s ~pos ~len =
+    srange s pos len "read_string";
+    Bytes.sub_string s.src.mem (s.soff + pos) len
+
+  let blit_to s ~src_pos ~dst ~dst_pos ~len =
+    srange s src_pos len "blit_to";
+    Bytes.blit s.src.mem (s.soff + src_pos) dst dst_pos len
+
+  let extent s =
+    check s "extent";
+    (s.src.mem, s.soff, s.slen)
+end
+
+let slice = Slice.make

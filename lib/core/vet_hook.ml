@@ -15,6 +15,11 @@ type hooks = {
   blocking : Ctx.t -> op:string -> unit;
   msg_event : Ctx.t -> uid:int -> mailbox:string -> msg_event -> unit;
   msg_access : uid:int -> state:string -> op:string -> unit;
+  msg_retain : uid:int -> refs:int -> unit;
+  msg_release : uid:int -> refs:int -> live:bool -> unit;
+  slice_make : suid:int -> uid:int -> off:int -> len:int -> unit;
+  slice_release : suid:int -> live:bool -> unit;
+  slice_access : suid:int -> op:string -> unit;
   heap_attach :
     heap:int -> name:string -> mem:Bytes.t -> base:int -> size:int -> unit;
   heap_persistent : heap:int -> off:int -> unit;
@@ -51,6 +56,21 @@ let msg_event ctx ~uid ~mailbox ev =
 
 let msg_access ~uid ~state ~op =
   match !hooks with None -> () | Some h -> h.msg_access ~uid ~state ~op
+
+let msg_retain ~uid ~refs =
+  match !hooks with None -> () | Some h -> h.msg_retain ~uid ~refs
+
+let msg_release ~uid ~refs ~live =
+  match !hooks with None -> () | Some h -> h.msg_release ~uid ~refs ~live
+
+let slice_make ~suid ~uid ~off ~len =
+  match !hooks with None -> () | Some h -> h.slice_make ~suid ~uid ~off ~len
+
+let slice_release ~suid ~live =
+  match !hooks with None -> () | Some h -> h.slice_release ~suid ~live
+
+let slice_access ~suid ~op =
+  match !hooks with None -> () | Some h -> h.slice_access ~suid ~op
 
 let heap_attach ~heap ~name ~mem ~base ~size =
   match !hooks with

@@ -36,6 +36,22 @@ type hooks = {
   msg_event : Ctx.t -> uid:int -> mailbox:string -> msg_event -> unit;
   msg_access : uid:int -> state:string -> op:string -> unit;
       (** a data accessor touched message [uid] while it is in [state] *)
+  msg_retain : uid:int -> refs:int -> unit;
+      (** message [uid]'s buffer gained a reference; [refs] is the count
+          after the increment *)
+  msg_release : uid:int -> refs:int -> live:bool -> unit;
+      (** a reference was dropped; [refs] is the count after the decrement
+          ([0] frees the buffer).  [live = false] means the message was
+          already free and the release is an over-release (the decrement is
+          then suppressed). *)
+  slice_make : suid:int -> uid:int -> off:int -> len:int -> unit;
+      (** slice [suid] was carved out of message [uid] at absolute buffer
+          offset [off]; it holds one reference until released *)
+  slice_release : suid:int -> live:bool -> unit;
+      (** [live = false] means the slice was already released (double
+          release; the underlying reference drop is then suppressed) *)
+  slice_access : suid:int -> op:string -> unit;
+      (** a data accessor touched slice [suid] after its release *)
   heap_attach :
     heap:int -> name:string -> mem:Bytes.t -> base:int -> size:int -> unit;
       (** a heap was bound to a data-memory region (idempotent) *)
@@ -60,6 +76,11 @@ val cond_wait : Ctx.t -> cond:string -> lock:int -> lock_name:string -> unit
 val blocking : Ctx.t -> op:string -> unit
 val msg_event : Ctx.t -> uid:int -> mailbox:string -> msg_event -> unit
 val msg_access : uid:int -> state:string -> op:string -> unit
+val msg_retain : uid:int -> refs:int -> unit
+val msg_release : uid:int -> refs:int -> live:bool -> unit
+val slice_make : suid:int -> uid:int -> off:int -> len:int -> unit
+val slice_release : suid:int -> live:bool -> unit
+val slice_access : suid:int -> op:string -> unit
 
 val heap_attach :
   heap:int -> name:string -> mem:Bytes.t -> base:int -> size:int -> unit

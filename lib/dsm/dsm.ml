@@ -51,10 +51,17 @@ let frame n page =
     s.frames.(page) <- alloc_frame_of s.stack n.dsm.page_sz;
   s.frames.(page)
 
+let meter_app n len =
+  Nectar_util.Copy_meter.record
+    ~owner:(Nectar_cab.Cab.name (Runtime.cab (st n).stack.Stack.rt))
+    Nectar_util.Copy_meter.App len
+
 let frame_contents n page =
+  meter_app n n.dsm.page_sz;
   Bytes.sub_string (mem n) (frame n page) n.dsm.page_sz
 
 let install n page data =
+  meter_app n n.dsm.page_sz;
   Bytes.blit_string data 0 (mem n) (frame n page) n.dsm.page_sz
 
 (* ---------- copy service: never blocks, served as an upcall ---------- *)
@@ -186,6 +193,7 @@ let read (ctx : Ctx.t) n ~addr ~len =
   (match (st n).states.(page) with
   | Invalid -> fault ctx n ~page ~write:false
   | Read_shared | Writable -> ());
+  meter_app n len;
   let s =
     Bytes.sub_string (mem n) (frame n page + (addr mod n.dsm.page_sz)) len
   in
@@ -198,6 +206,7 @@ let write (ctx : Ctx.t) n ~addr data =
   (match (st n).states.(page) with
   | Writable -> ()
   | Invalid | Read_shared -> fault ctx n ~page ~write:true);
+  meter_app n len;
   Bytes.blit_string data 0 (mem n) (frame n page + (addr mod n.dsm.page_sz)) len;
   sync_home_master n page;
   ctx.work (Nectar_cab.Costs.cab_cycles (2 * len))

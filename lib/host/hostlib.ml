@@ -97,6 +97,10 @@ let rec begin_put ctx h n =
 
 let write_string (ctx : Ctx.t) h msg ~pos s =
   pio ctx h (String.length s);
+  (* programmed I/O across the VME boundary is a real per-byte copy by the
+     host CPU — the one place the zero-copy path must copy out *)
+  Nectar_util.Copy_meter.record ~owner:(Mailbox.name h.mbox)
+    Nectar_util.Copy_meter.Host (String.length s);
   Message.write_string msg pos s
 
 let end_put ctx h msg =
@@ -158,6 +162,8 @@ let rec begin_get ?(wait = `Poll) ctx h =
 
 let read_string (ctx : Ctx.t) h msg =
   pio ctx h (Message.length msg);
+  Nectar_util.Copy_meter.record ~owner:(Mailbox.name h.mbox)
+    Nectar_util.Copy_meter.Host (Message.length msg);
   Message.to_string msg
 
 let end_get ctx h msg =

@@ -57,6 +57,8 @@ let host_softnet t (ctx : Ctx.t) =
     (* copy the packet out of CAB memory and run IP + UDP + socket layers *)
     let port = Message.get_u16 msg 2 in
     let len = Message.get_u16 msg 4 in
+    Nectar_util.Copy_meter.record ~owner:"host-softnet"
+      Nectar_util.Copy_meter.Host len;
     let payload = Message.read_string msg ~pos:header_bytes ~len in
     Cab_driver.ctx_pio ctx t.drv ~bytes:(Message.length msg);
     Mailbox.end_get ctx msg;

@@ -161,21 +161,6 @@ let resolve t ~src route_ports =
   in
   walk (node t src).node_hub route_ports []
 
-(* Flip one bit in each of [burst] contiguous bytes centred on the middle
-   of the frame — a single-bit error for [burst = 1] (the classic fiber
-   glitch), a noise burst otherwise.  Either way the receiver's hardware
-   CRC recomputation disagrees with the snapshot CRC and the frame is
-   dropped whole by the datalink. *)
-let corrupt_frame ?(burst = 1) (frame : Frame.t) =
-  let len = Bytes.length frame.data in
-  if len > 0 then begin
-    let k = min (max 1 burst) len in
-    let start = min (len / 2) (len - k) in
-    for i = start to start + k - 1 do
-      Bytes.set_uint8 frame.data i (Bytes.get_uint8 frame.data i lxor 0x08)
-    done
-  end
-
 let set_link_up t ~hub ~port:p up = (port t hub p).up <- up
 
 (* A node's link is the fiber pair on its attachment port: taking it down
@@ -212,10 +197,10 @@ let transmit ?(header_bytes = 32) t ~src ~route:route_ports frame =
   (match verdict with
   | `Corrupt ->
       Stats.Counter.incr t.corrupted;
-      corrupt_frame frame
+      Frame.corrupt frame
   | `Corrupt_burst k ->
       Stats.Counter.incr t.corrupted;
-      corrupt_frame ~burst:k frame
+      Frame.corrupt ~burst:k frame
   | `Deliver | `Drop -> ());
   let hops, dst = resolve t ~src route_ports in
   let src_node = node t src in
@@ -241,8 +226,11 @@ let transmit ?(header_bytes = 32) t ~src ~route:route_ports frame =
   (match verdict with
   | `Drop ->
       (* The frame crosses the wire but is never delivered (e.g. lost at the
-         far side, or blackholed by a downed link); wire time still passes. *)
-      Engine.sleep t.eng (total * t.fiber_ns_per_byte)
+         far side, or blackholed by a downed link); wire time still passes,
+         and the sender-side buffer references die here — the receiving CAB
+         will never drain this frame, so the network is its last holder. *)
+      Engine.sleep t.eng (total * t.fiber_ns_per_byte);
+      Frame.release frame
   | `Deliver | `Corrupt | `Corrupt_burst _ ->
       Stats.Counter.incr t.delivered;
       let arrived = ref 0 in

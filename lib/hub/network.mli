@@ -68,14 +68,19 @@ val transmit :
 (** Stream a frame along [route].  Blocks the calling process for connection
     setup, serialization, port contention and destination-FIFO backpressure;
     returns once the last byte has entered the destination FIFO.  Dropped
-    frames (fault injection) still consume wire time.  [header_bytes]
-    (default 32) sizes the first chunk so the receiver's start-of-packet
-    event fires as soon as the headers are in. *)
+    frames (fault injection or a downed link) still consume wire time and
+    are {!Frame.release}d here — the receiver will never drain them, so the
+    network is their last holder; delivered frames are released by the
+    receiving CAB's rx engine instead.  [header_bytes] (default 32) sizes
+    the first chunk so the receiver's start-of-packet event fires as soon
+    as the headers are in. *)
 
 val set_fault_hook : t -> (Frame.t -> fault_verdict) option -> unit
 (** Fault injection for loss/corruption tests.  [`Corrupt] flips a bit in
     the frame payload so the receiver's hardware CRC check fails;
-    [`Corrupt_burst k] damages [k] contiguous bytes. *)
+    [`Corrupt_burst k] damages [k] contiguous bytes.  Corruption first
+    {!Frame.detach}es the frame so the damage lands on a private snapshot,
+    never on the sender's (possibly retransmitted) buffer. *)
 
 (** {1 Link faults}
 

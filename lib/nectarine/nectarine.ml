@@ -56,6 +56,12 @@ let host_node drv stack =
 
 let node_cab_id n = Stack.node_id n.stack
 
+let cab_owner stack = Nectar_cab.Cab.name (Runtime.cab stack.Stack.rt)
+
+let meter_app stack n =
+  Nectar_util.Copy_meter.record ~owner:(cab_owner stack)
+    Nectar_util.Copy_meter.App n
+
 let fresh_port n =
   let p = n.next_port in
   n.next_port <- p + 1;
@@ -91,6 +97,7 @@ let receive ctx m =
   match m.handle with
   | None ->
       let msg = Mailbox.begin_get ctx m.raw in
+      meter_app m.owner.stack (Message.length msg);
       let s = Message.to_string msg in
       Mailbox.end_get ctx msg;
       s
@@ -106,6 +113,7 @@ let try_receive ctx m =
       match Mailbox.try_begin_get ctx m.raw with
       | None -> None
       | Some msg ->
+          meter_app m.owner.stack (Message.length msg);
           let s = Message.to_string msg in
           Mailbox.end_get ctx msg;
           Some s)
@@ -132,6 +140,7 @@ let send_server_thread stack mbox (ctx : Ctx.t) =
     let kind = Message.get_u8 m 0 in
     let dst_cab = Message.get_u16 m 2 in
     let dst_port = Message.get_u16 m 4 in
+    meter_app stack (Message.length m - 6);
     let payload = Message.read_string m ~pos:6 ~len:(Message.length m - 6) in
     Mailbox.end_get ctx m;
     if kind = kind_dgram then
@@ -192,6 +201,7 @@ let rpc_proxy_thread stack req_mb resp_mb (ctx : Ctx.t) =
     let m = Mailbox.begin_get ctx req_mb in
     let dst_cab = Message.get_u16 m 0 in
     let dst_port = Message.get_u16 m 2 in
+    meter_app stack (Message.length m - 4);
     let payload = Message.read_string m ~pos:4 ~len:(Message.length m - 4) in
     Mailbox.end_get ctx m;
     let response =
@@ -199,6 +209,7 @@ let rpc_proxy_thread stack req_mb resp_mb (ctx : Ctx.t) =
       with Reqresp.Call_timeout _ -> ""
     in
     let r = Mailbox.begin_put ctx resp_mb (String.length response) in
+    meter_app stack (String.length response);
     Message.write_string r 0 response;
     Mailbox.end_put ctx resp_mb r
   done

@@ -124,29 +124,27 @@ let route_to t dst_cab =
       r
 
 let alloc_frame ctx t n =
-  match Mailbox.try_begin_put ctx t.tx_pool (Wire.dl_header_bytes + n) with
-  | None -> None
-  | Some msg ->
-      Message.adjust_head msg Wire.dl_header_bytes;
-      Some msg
+  (* headroom reserved at allocation: [output] prepends the datalink header
+     into the same buffer with [Message.push_head] — never a fresh message *)
+  Mailbox.try_begin_put ctx t.tx_pool ~headroom:Wire.dl_header_bytes n
 
 exception No_buffer
 
 let alloc_frame_blocking (ctx : Ctx.t) t n =
-  if ctx.may_block then begin
-    let msg = Mailbox.begin_put ctx t.tx_pool (Wire.dl_header_bytes + n) in
-    Message.adjust_head msg Wire.dl_header_bytes;
-    msg
-  end
+  if ctx.may_block then
+    Mailbox.begin_put ctx t.tx_pool ~headroom:Wire.dl_header_bytes n
   else match alloc_frame ctx t n with Some msg -> msg | None -> raise No_buffer
 
-let output (ctx : Ctx.t) t ~dst_cab ~proto ~msg ~on_done =
+let output_sg (ctx : Ctx.t) t ~dst_cab ~proto ~msg ~tail ~on_done =
   if dst_cab = Cab.node_id t.cab then
     invalid_arg
       (Printf.sprintf "Datalink.output: loopback not supported (%s, dst %d)"
          (Cab.name t.cab) dst_cab);
   ctx.work Costs.dl_tx_setup_ns;
-  let payload_len = Message.length msg in
+  let tail_len =
+    List.fold_left (fun acc s -> acc + Message.Slice.length s) 0 tail
+  in
+  let payload_len = Message.length msg + tail_len in
   Message.push_head msg Wire.dl_header_bytes;
   let header =
     {
@@ -159,14 +157,31 @@ let output (ctx : Ctx.t) t ~dst_cab ~proto ~msg ~on_done =
   in
   Wire.encode_dl msg.Message.mem ~pos:msg.Message.off header;
   t.frames_out_count <- t.frames_out_count + 1;
+  (* Zero-copy transmit: the frame's extents point straight into the
+     message's buffer (headers and payload in place, paper §5.2) plus any
+     payload slices carved out of other messages.  The head buffer is
+     pinned with a reference for the frame's lifetime — [on_done] only
+     means the transmit descriptor completed; the physical bytes stay until
+     the frame dies at the receiver (or on a faulted wire). *)
+  Message.retain msg;
+  let extents =
+    (msg.Message.mem, msg.Message.off, Message.length msg)
+    :: List.map Message.Slice.extent tail
+  in
   Cab.send_frame t.cab ~route:(route_to t dst_cab)
-    ~header_bytes:Wire.dl_header_bytes ~data:msg.Message.mem
-    ~pos:msg.Message.off ~len:(Message.length msg)
-    ~on_done:(fun ictx -> on_done (Ctx.of_interrupt ictx) msg);
+    ~header_bytes:Wire.dl_header_bytes
+    ~release:(fun () ->
+      Message.release msg;
+      List.iter Message.Slice.release tail)
+    ~extents
+    ~on_done:(fun ictx -> on_done (Ctx.of_interrupt ictx) msg) ();
   (* Restore the caller's view of the message (transport header + payload):
-     the frame slice was captured above, and reliable protocols re-send the
+     the frame extent was captured above, and reliable protocols re-send the
      same message on retransmission. *)
   Message.adjust_head msg Wire.dl_header_bytes
+
+let output (ctx : Ctx.t) t ~dst_cab ~proto ~msg ~on_done =
+  output_sg ctx t ~dst_cab ~proto ~msg ~tail:[] ~on_done
 
 let drops_no_buffer t = t.no_buffer
 let drops_bad_proto t = t.bad_proto

@@ -56,8 +56,28 @@ val output :
   on_done:(Nectar_core.Ctx.t -> Nectar_core.Message.t -> unit) ->
   unit
 (** Send a message (allocated with headroom, e.g. by [alloc_frame]) to a
-    remote CAB.  Loopback to the local CAB is not supported: Nectar CABs
-    talk to themselves through local mailboxes, never the fabric. *)
+    remote CAB.  Zero-copy: the frame references the message's buffer in
+    place (a reference pins the buffer until the frame's life ends — the
+    receiver drains it or the wire swallows it), so [on_done] signals
+    transmit-descriptor completion, not that the bytes are unreferenced.
+    Loopback to the local CAB is not supported: Nectar CABs talk to
+    themselves through local mailboxes, never the fabric. *)
+
+val output_sg :
+  Nectar_core.Ctx.t ->
+  t ->
+  dst_cab:int ->
+  proto:int ->
+  msg:Nectar_core.Message.t ->
+  tail:Nectar_core.Message.Slice.t list ->
+  on_done:(Nectar_core.Ctx.t -> Nectar_core.Message.t -> unit) ->
+  unit
+(** Like {!output} but the wire payload is [msg] (headers) followed by the
+    [tail] slices, as scatter/gather extents — IP fragmentation sends a
+    small header message plus a slice of the original payload without
+    copying it.  Ownership of the [tail] slices transfers to the frame:
+    they are released when the frame's life ends, so pass fresh slices per
+    transmission. *)
 
 val drops_no_buffer : t -> int
 val drops_bad_proto : t -> int

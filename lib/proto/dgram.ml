@@ -70,6 +70,9 @@ let send (ctx : Ctx.t) t ~dst_cab ~dst_port ?(src_port = 0) msg =
 
 let send_string ctx t ~dst_cab ~dst_port s =
   let msg = alloc ctx t (String.length s) in
+  Nectar_util.Copy_meter.record
+    ~owner:(Nectar_cab.Cab.name (Runtime.cab t.rt))
+    Nectar_util.Copy_meter.App (String.length s);
   Message.write_string msg 0 s;
   send ctx t ~dst_cab ~dst_port msg
 

@@ -14,6 +14,7 @@ type pending_ping = { ping_q : Waitq.t; mutable replied : bool }
 type t = {
   ip : Ipv4.t;
   rt : Runtime.t;
+  owner : string;  (* CAB name, labels this node's copy-meter records *)
   input : Mailbox.t;
   pings : (int, pending_ping) Hashtbl.t; (* echo id *)
   mutable next_ping : int;
@@ -51,6 +52,9 @@ let upcall t ctx mbox =
               match Ipv4.alloc ctx t.ip icmp_len with
               | exception Datalink.No_buffer -> ()
               | reply ->
+                  (* the reply edits type and checksum fields, so it cannot
+                     alias the request buffer: a header-rebuild copy *)
+                  Copy_meter.record ~owner:t.owner Copy_meter.Hdr icmp_len;
                   Message.blit_from reply ~dst_pos:0 ~src:msg.Message.mem
                     ~src_pos:(msg.Message.off + ip_hdr) ~len:icmp_len;
                   Message.set_u8 reply 0 ty_echo_reply;
@@ -83,6 +87,7 @@ let create ip =
     {
       ip;
       rt;
+      owner = Nectar_cab.Cab.name (Runtime.cab rt);
       input;
       pings = Hashtbl.create 8;
       next_ping = 1;
@@ -150,6 +155,7 @@ let port_unreachable (ctx : Ctx.t) t ~orig =
           Message.set_u8 msg 1 code_port_unreachable;
           Message.set_u16 msg 2 0;
           Message.set_u32 msg 4 0;
+          Copy_meter.record ~owner:t.owner Copy_meter.Hdr quoted;
           Message.blit_from msg ~dst_pos:header_bytes
             ~src:orig.Message.mem ~src_pos:orig.Message.off ~len:quoted;
           let ck = icmp_checksum msg ~pos:0 ~len in

@@ -43,6 +43,7 @@ type reass = {
 type t = {
   dl : Datalink.t;
   rt : Runtime.t;
+  owner : string;  (* CAB name, labels this node's copy-meter records *)
   input : Mailbox.t;
   ip_mtu : int;
   default_ttl : int;
@@ -151,7 +152,12 @@ let output (ctx : Ctx.t) t ?src ~dst ~proto msg =
     send_datagram ctx t ~id:(fresh_id t) ~more_fragments:false ~frag_off:0
       ~ttl ~proto ~src ~dst msg
   else begin
-    (* Fragment: 8-byte-aligned payload slices, each its own frame. *)
+    (* Fragment, zero-copy: each fragment is a small header-only message
+       plus a slice view of the original payload, sent as scatter/gather
+       extents — the payload bytes are never copied on the transmit side.
+       Each slice holds a buffer reference, so disposing [msg] below only
+       drops the owner's reference; the buffer lives until the last
+       fragment's frame dies. *)
     let id = fresh_id t in
     let max_payload = (t.ip_mtu - header_bytes) land lnot 7 in
     if max_payload <= 0 then invalid_arg "Ipv4.output: MTU too small";
@@ -160,12 +166,17 @@ let output (ctx : Ctx.t) t ?src ~dst ~proto msg =
         ctx.work Costs.ip_frag_ns;
         let n = min max_payload (payload_len - off) in
         let last = off + n >= payload_len in
-        let frag = alloc ctx t n in
-        Message.blit_from frag ~dst_pos:0 ~src:msg.Message.mem
-          ~src_pos:(msg.Message.off + off) ~len:n;
+        let hdr = alloc ctx t 0 in
+        let payload = Message.slice msg ~pos:off ~len:n in
+        Message.push_head hdr header_bytes;
+        encode_header hdr.Message.mem ~pos:hdr.Message.off
+          ~total_len:(header_bytes + n) ~id ~more_fragments:(not last)
+          ~frag_off:off ~ttl ~proto ~src ~dst;
         t.frag_out <- t.frag_out + 1;
-        send_datagram ctx t ~id ~more_fragments:(not last) ~frag_off:off ~ttl
-          ~proto ~src ~dst frag;
+        t.out_count <- t.out_count + 1;
+        Datalink.output_sg ctx t.dl ~dst_cab:(cab_of_addr dst)
+          ~proto:Wire.proto_ip ~msg:hdr ~tail:[ payload ]
+          ~on_done:Mailbox.dispose;
         slice (off + n)
       end
     in
@@ -226,6 +237,7 @@ let try_complete t ctx key (r : reass) ~proto =
             | (_, first) :: _ ->
                 (* copy the first fragment's header, clearing fragmentation
                    fields and re-checksumming *)
+                Copy_meter.record ~owner:t.owner Copy_meter.Hdr header_bytes;
                 Message.blit_to first ~src_pos:0 ~dst:whole.Message.mem
                   ~dst_pos:whole.Message.off ~len:header_bytes;
                 Byte_view.set_u16 whole.Message.mem (whole.Message.off + 2)
@@ -240,10 +252,14 @@ let try_complete t ctx key (r : reass) ~proto =
             | [] -> assert false);
             List.iter
               (fun (off, frag) ->
+                let n = Message.length frag - header_bytes in
+                (* reassembly is inherently a gather copy: the fragments
+                   landed in separate receive buffers *)
+                Copy_meter.record ~owner:t.owner Copy_meter.Frag n;
                 Message.blit_to frag ~src_pos:header_bytes
                   ~dst:whole.Message.mem
                   ~dst_pos:(whole.Message.off + header_bytes + off)
-                  ~len:(Message.length frag - header_bytes);
+                  ~len:n;
                 Mailbox.dispose ctx frag)
               sorted;
             Hashtbl.remove t.reass_table key;
@@ -308,6 +324,7 @@ let create dl ?(mtu = 65535) ?(ttl = 32) () =
     {
       dl;
       rt;
+      owner = Nectar_cab.Cab.name (Runtime.cab rt);
       input;
       ip_mtu = mtu;
       default_ttl = ttl;

@@ -453,6 +453,11 @@ let flush (ctx : Ctx.t) t ~dst_cab ~dst_port =
 
 let send_string ctx t ~dst_cab ~dst_port s =
   let msg = alloc ctx t (String.length s) in
+  (* the string API's one unavoidable copy: application data entering the
+     mailbox buffer.  Everything below here is zero-copy *)
+  Nectar_util.Copy_meter.record
+    ~owner:(Nectar_cab.Cab.name (Runtime.cab t.rt))
+    Nectar_util.Copy_meter.App (String.length s);
   Message.write_string msg 0 s;
   send ctx t ~dst_cab ~dst_port msg
 

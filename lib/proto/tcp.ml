@@ -80,6 +80,7 @@ type conn = {
 and t = {
   ip : Ipv4.t;
   rt : Runtime.t;
+  owner : string;  (* CAB name, labels this node's copy-meter records *)
   input : Mailbox.t;
   send_req : Mailbox.t;
   sw_checksum : bool;
@@ -144,6 +145,10 @@ let emit (ctx : Ctx.t) c ~flags ~seq ~payload_n =
   if payload_n > 0 then begin
     Message.adjust_head msg header_bytes;
     let dst = msg.Message.mem in
+    (* the segment cannot alias the ring: retransmission needs the ring
+       contents stable while the segment's frame is in flight *)
+    Nectar_util.Copy_meter.record ~owner:t.owner Nectar_util.Copy_meter.Frag
+      payload_n;
     sndbuf_read c ~seq ~dst ~dst_pos:msg.Message.off ~n:payload_n;
     Message.push_head msg header_bytes
   end;
@@ -696,6 +701,8 @@ let rec send_thread t (ctx : Ctx.t) =
   while true do
     let m = Mailbox.begin_get ctx t.send_req in
     let cid = Message.get_u32 m 0 in
+    Nectar_util.Copy_meter.record ~owner:t.owner Nectar_util.Copy_meter.App
+      (Message.length m - 4);
     let data = Message.read_string m ~pos:4 ~len:(Message.length m - 4) in
     Mailbox.end_get ctx m;
     match Hashtbl.find_opt t.by_id cid with
@@ -729,6 +736,8 @@ and send_locked (ctx : Ctx.t) c data =
           let cap = Bytes.length c.sndbuf in
           let widx = (c.sb_start + c.sb_len) mod cap in
           let run = min n (cap - widx) in
+          Nectar_util.Copy_meter.record ~owner:c.tcp.owner
+            Nectar_util.Copy_meter.App n;
           Bytes.blit_string data !pos c.sndbuf widx run;
           if run < n then Bytes.blit_string data (!pos + run) c.sndbuf 0 (n - run);
           c.sb_len <- c.sb_len + n;
@@ -756,6 +765,7 @@ let create ip ?(software_checksum = true) ?(mss = 8192) ?(window = 0xffff)
     {
       ip;
       rt;
+      owner = Nectar_cab.Cab.name (Runtime.cab rt);
       input;
       send_req;
       sw_checksum = software_checksum;
@@ -834,6 +844,8 @@ let recv_mailbox c = c.recv_mb
 
 let recv_string (ctx : Ctx.t) c =
   let m = Mailbox.begin_get ctx c.recv_mb in
+  Nectar_util.Copy_meter.record ~owner:c.tcp.owner Nectar_util.Copy_meter.App
+    (Message.length m);
   let s = Message.to_string m in
   Mailbox.end_get ctx m;
   s

@@ -1,0 +1,62 @@
+type site = Txsnap | Rxread | Hdr | Frag | Host | App
+
+let site_name = function
+  | Txsnap -> "txsnap"
+  | Rxread -> "rxread"
+  | Hdr -> "hdr"
+  | Frag -> "frag"
+  | Host -> "host"
+  | App -> "app"
+
+let all_sites = [ Txsnap; Rxread; Hdr; Frag; Host; App ]
+
+type cell = { mutable ops : int; mutable total : int }
+
+(* (site, owner) -> cell.  The table is tiny (sites x a few owners) and the
+   simulation is single-threaded, so a plain hashtable is fine; reports sort
+   so iteration order never shows. *)
+let cells : (site * string, cell) Hashtbl.t = Hashtbl.create 16
+
+let record ?(owner = "-") site bytes =
+  if bytes < 0 then invalid_arg "Copy_meter.record: negative byte count";
+  let key = (site, owner) in
+  let cell =
+    match Hashtbl.find_opt cells key with
+    | Some c -> c
+    | None ->
+        let c = { ops = 0; total = 0 } in
+        Hashtbl.replace cells key c;
+        c
+  in
+  cell.ops <- cell.ops + 1;
+  cell.total <- cell.total + bytes
+
+let fold ?site ?owner f =
+  Hashtbl.fold
+    (fun (s, o) c acc ->
+      let site_ok = match site with None -> true | Some s' -> s = s' in
+      let owner_ok = match owner with None -> true | Some o' -> o = o' in
+      if site_ok && owner_ok then f acc c else acc)
+    cells 0
+
+let copies ?site ?owner () = fold ?site ?owner (fun acc c -> acc + c.ops)
+let bytes_copied ?site ?owner () = fold ?site ?owner (fun acc c -> acc + c.total)
+let reset () = Hashtbl.reset cells
+
+let report () =
+  List.filter_map
+    (fun s ->
+      match (copies ~site:s (), bytes_copied ~site:s ()) with
+      | 0, _ -> None
+      | ops, total -> Some (site_name s, ops, total))
+    all_sites
+
+let report_owners () =
+  let owners =
+    Hashtbl.fold (fun (_, o) _ acc -> if List.mem o acc then acc else o :: acc)
+      cells []
+    |> List.sort compare
+  in
+  List.map
+    (fun o -> (o, copies ~owner:o (), bytes_copied ~owner:o ()))
+    owners

@@ -1,0 +1,43 @@
+(** Copy accounting for the zero-copy data path.
+
+    The paper's central runtime claim is that messages move between mailboxes
+    and onto the wire without their payload bytes being copied.  Every place
+    the implementation still copies payload calls {!record} with the site it
+    copied at, so benches and CI can assert — exactly and deterministically —
+    which copies remain and that eliminated ones never come back.
+
+    Counters are global and monotonic between {!reset}s; the simulation is
+    single-threaded and deterministic, so a given scenario always produces the
+    same counts.  Only modelled payload copies are recorded: the simulated
+    hardware DMA engines (fiber, memory) move bytes by accounting, not
+    [Bytes.blit], and are not copies in the paper's sense. *)
+
+type site =
+  | Txsnap  (** transmit-side frame snapshot (the pre-zerocopy [Bytes.sub]) *)
+  | Rxread  (** receive-side copy out of a frame instead of a borrowed view *)
+  | Hdr  (** header rebuild into a freshly allocated message *)
+  | Frag  (** fragmentation / reassembly / segment-build payload copies *)
+  | Host  (** host VME boundary: programmed-I/O copy in or out of CAB memory *)
+  | App  (** application string boundary (send_string / read_string / ...) *)
+
+val site_name : site -> string
+(** Lower-case label: txsnap, rxread, hdr, frag, host, app. *)
+
+val record : ?owner:string -> site -> int -> unit
+(** [record ~owner site bytes] counts one copy of [bytes] payload bytes at
+    [site], attributed to [owner] (a CAB or host name; default ["-"]). *)
+
+val copies : ?site:site -> ?owner:string -> unit -> int
+(** Number of copies recorded, filtered by site and/or owner when given. *)
+
+val bytes_copied : ?site:site -> ?owner:string -> unit -> int
+(** Payload bytes copied, filtered by site and/or owner when given. *)
+
+val reset : unit -> unit
+
+val report : unit -> (string * int * int) list
+(** Per-site [(site, copies, bytes)] totals, fixed site order, zero sites
+    omitted. *)
+
+val report_owners : unit -> (string * int * int) list
+(** Per-owner [(owner, copies, bytes)] totals, sorted by owner name. *)

@@ -14,6 +14,7 @@ type config = {
   starvation : bool;
   starvation_limit : Sim_time.span;
   poison : bool;
+  slices : bool;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     starvation = true;
     starvation_limit = Sim_time.ms 50;
     poison = true;
+    slices = true;
   }
 
 let severity_name = function
@@ -239,6 +241,7 @@ type msg_rec = {
   mutable mphase : msg_phase;
   mutable mmbox : string;  (* last mailbox seen for this message *)
   mbuf : (int * int) option;  (* (heap, off), None for cached buffers *)
+  mutable mrefs : int;  (* buffer references (owner + slices + tx extents) *)
 }
 
 let msgs : (int, msg_rec) Hashtbl.t = Hashtbl.create 64
@@ -250,7 +253,9 @@ let msg_rec_of ~uid ~mailbox ~phase =
       r
   | None ->
       (* first sighting (hooks installed mid-run): adopt silently *)
-      let r = { muid = uid; mphase = phase; mmbox = mailbox; mbuf = None } in
+      let r =
+        { muid = uid; mphase = phase; mmbox = mailbox; mbuf = None; mrefs = 1 }
+      in
       Hashtbl.add msgs uid r;
       r
 
@@ -273,6 +278,7 @@ let on_msg_event _ctx ~uid ~mailbox (ev : Vet_hook.msg_event) =
             mphase = P_writing;
             mmbox = mailbox;
             mbuf = (if cached then None else Some (heap, off));
+            mrefs = 1;
           }
     | Vet_hook.End_put ->
         let r = msg_rec_of ~uid ~mailbox ~phase:P_queued in
@@ -333,6 +339,83 @@ let on_msg_access ~uid ~state ~op =
     else
       emit checker_2p Error
         (Printf.sprintf "%s on %s after free" op where)
+
+(* ------------------------------------------------------------------ *)
+(* Slice / buffer-reference checker                                    *)
+
+let checker_slice = "slice"
+
+type slice_rec = {
+  s_suid : int;
+  s_msg : int;  (* uid of the message whose buffer it borrows *)
+  s_off : int;
+  s_len : int;
+  mutable slive : bool;
+}
+
+let slices : (int, slice_rec) Hashtbl.t = Hashtbl.create 32
+
+let slice_desc s =
+  Printf.sprintf "slice#%d [%d,%d) of message#%d" s.s_suid s.s_off
+    (s.s_off + s.s_len) s.s_msg
+
+let on_msg_retain ~uid ~refs =
+  if !cfg.slices then
+    if refs <= 0 then
+      emit checker_slice Error
+        (Printf.sprintf
+           "retain of message#%d after its buffer was freed (refcount %d)" uid
+           refs)
+    else begin
+      (* adopt unseen messages in a neutral phase: retain says nothing about
+         the two-phase state *)
+      let r = msg_rec_of ~uid ~mailbox:"" ~phase:P_queued in
+      r.mrefs <- refs
+    end
+
+let on_msg_release ~uid ~refs ~live =
+  if !cfg.slices then
+    if not live then
+      emit checker_slice Error
+        (Printf.sprintf
+           "over-release of message#%d: more releases than retains (refcount \
+            %d)"
+           uid refs)
+    else begin
+      let r = msg_rec_of ~uid ~mailbox:"" ~phase:P_queued in
+      r.mrefs <- refs
+    end
+
+let on_slice_make ~suid ~uid ~off ~len =
+  if !cfg.slices then
+    Hashtbl.replace slices suid
+      { s_suid = suid; s_msg = uid; s_off = off; s_len = len; slive = true }
+
+let on_slice_release ~suid ~live =
+  if !cfg.slices then begin
+    let desc =
+      match Hashtbl.find_opt slices suid with
+      | Some s -> slice_desc s
+      | None -> Printf.sprintf "slice#%d" suid
+    in
+    if not live then
+      emit checker_slice Error (Printf.sprintf "double release of %s" desc)
+    else
+      match Hashtbl.find_opt slices suid with
+      | Some s -> s.slive <- false
+      | None -> ()
+  end
+
+(* called by the runtime only on a violation (access on a released slice) *)
+let on_slice_access ~suid ~op =
+  if !cfg.slices then
+    let desc =
+      match Hashtbl.find_opt slices suid with
+      | Some s -> slice_desc s
+      | None -> Printf.sprintf "slice#%d" suid
+    in
+    emit checker_slice Error
+      (Printf.sprintf "use after release: %s on released %s" op desc)
 
 (* ------------------------------------------------------------------ *)
 (* Buffer-heap sanitizer                                               *)
@@ -475,6 +558,7 @@ let reset_state () =
   Hashtbl.reset lock_names;
   Hashtbl.reset reported_cycles;
   Hashtbl.reset msgs;
+  Hashtbl.reset slices;
   Hashtbl.reset heaps;
   Hashtbl.reset max_wait
 
@@ -490,6 +574,11 @@ let install ?(config = default_config) () =
       blocking = on_blocking;
       msg_event = on_msg_event;
       msg_access = on_msg_access;
+      msg_retain = on_msg_retain;
+      msg_release = on_msg_release;
+      slice_make = on_slice_make;
+      slice_release = on_slice_release;
+      slice_access = on_slice_access;
       heap_attach = on_heap_attach;
       heap_persistent = on_heap_persistent;
       heap_alloc = on_heap_alloc;
@@ -525,6 +614,24 @@ let teardown ?(quiesced = true) () =
                  (msg_desc r))
         | P_queued | P_freed -> ())
       msgs;
+  if !cfg.slices && quiesced then begin
+    Hashtbl.iter
+      (fun _ s ->
+        if s.slive then
+          emit checker_slice Error
+            (Printf.sprintf "leaked slice: %s was never released"
+               (slice_desc s)))
+      slices;
+    Hashtbl.iter
+      (fun _ r ->
+        if r.mphase = P_freed && r.mrefs > 0 then
+          emit checker_slice Error
+            (Printf.sprintf
+               "leaked retain: %s was freed by its owner but %d buffer \
+                reference(s) were never released"
+               (msg_desc r) r.mrefs))
+      msgs
+  end;
   if !cfg.heap then begin
     (* poison sweep: freed ranges must still be intact even if never reused *)
     if !cfg.poison then

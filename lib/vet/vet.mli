@@ -1,6 +1,6 @@
 (** nectar-vet: dynamic sanitizers for the CAB runtime.
 
-    Five checkers observe a simulation through the hook registries in
+    Six checkers observe a simulation through the hook registries in
     [Nectar_sim.Vet_probe] and [Nectar_core.Vet_hook]:
 
     - {b lock-order}: builds the held-while-acquiring graph across all
@@ -22,6 +22,12 @@
     - {b starvation}: watches the priority scheduler's ready queues and
       reports runnable threads that waited longer than
       [starvation_limit] for the CPU.
+    - {b slice}: tracks the zero-copy data path's buffer references —
+      [Message.retain]/[release] pairs and the slice views carved out of
+      message buffers — and reports over-releases, double releases and
+      use-after-release of slices, plus (at a quiesced teardown) slices
+      never released and messages freed by their owner whose extra
+      references were leaked.
 
     Checkers cost nothing when not installed: every call site is a single
     reference load. *)
@@ -44,6 +50,8 @@ type config = {
       (** longest tolerated ready-queue wait (default 50 sim-ms) *)
   poison : bool;
       (** fill freed heap ranges with 0xDE and verify on realloc *)
+  slices : bool;
+      (** track buffer references and slice views (the zero-copy path) *)
 }
 
 val default_config : config

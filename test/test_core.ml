@@ -143,6 +143,147 @@ let test_message_bounds () =
     (Invalid_argument "Message.adjust_head") (fun () ->
       Message.adjust_head m 9)
 
+(* ---------- Slices (zero-copy views) ---------- *)
+
+let test_slice_reads_window () =
+  let m = scratch_message 64 in
+  Message.write_string m 0 "....the quick brown fox.................";
+  let s = Message.slice m ~pos:4 ~len:19 in
+  Alcotest.(check string) "window contents" "the quick brown fox"
+    (Message.Slice.read_string s ~pos:0 ~len:19);
+  check_int "first byte" (Char.code 't') (Message.Slice.get_u8 s 0);
+  (* the slice window is absolute: stripping the owner's header does not
+     move it *)
+  Message.adjust_head m 10;
+  Alcotest.(check string) "stable across adjust_head" "the quick"
+    (Message.Slice.read_string s ~pos:0 ~len:9);
+  Message.Slice.release s
+
+let test_slice_refcount_pins_buffer () =
+  let freed = ref false in
+  let mem = Bytes.make 256 '\000' in
+  let m =
+    Message.make ~mem ~buf_off:0 ~buf_len:64 ~len:32
+      ~free_buffer:(fun () -> freed := true)
+  in
+  let s = Message.slice m ~pos:0 ~len:16 in
+  let sub = Message.Slice.sub s ~pos:4 ~len:8 in
+  check_int "three references" 3 (Message.refs m);
+  Message.release m (* the owner lets go *);
+  check_bool "buffer pinned by slices" false !freed;
+  Message.Slice.release s;
+  check_bool "still pinned by the sub-slice" false !freed;
+  Message.Slice.release sub;
+  check_bool "freed with the last reference" true !freed;
+  Alcotest.check_raises "later retain is a use-after-free"
+    (Invalid_argument "Message.retain: message buffer already freed")
+    (fun () -> Message.retain m)
+
+let test_slice_bounds () =
+  let m = scratch_message 32 in
+  Alcotest.check_raises "slice outside message"
+    (Invalid_argument "Message.slice: outside message data") (fun () ->
+      ignore (Message.slice m ~pos:30 ~len:4));
+  let s = Message.slice m ~pos:8 ~len:8 in
+  Alcotest.check_raises "sub outside slice"
+    (Invalid_argument "Message.Slice.sub: outside slice") (fun () ->
+      ignore (Message.Slice.sub s ~pos:4 ~len:8));
+  Alcotest.check_raises "read outside slice"
+    (Invalid_argument "Message.Slice: access outside slice") (fun () ->
+      ignore (Message.Slice.read_string s ~pos:6 ~len:4));
+  Message.Slice.release s;
+  Alcotest.check_raises "double release"
+    (Invalid_argument "Message.Slice.release: already released") (fun () ->
+      Message.Slice.release s)
+
+let prop_nested_slices_read_same_bytes =
+  QCheck2.Test.make ~name:"nested sub-slices read the parent's bytes"
+    QCheck2.Gen.(triple (int_range 0 63) (int_range 0 63) (int_range 0 63))
+    (fun (a, b, c) ->
+      let len = 64 in
+      let m = scratch_message len in
+      for i = 0 to len - 1 do
+        Message.set_u8 m i (i * 7 mod 256)
+      done;
+      (* clamp the random triple into a valid nested chain *)
+      let p1 = a mod len in
+      let l1 = len - p1 in
+      let s1 = Message.slice m ~pos:p1 ~len:l1 in
+      let p2 = if l1 = 0 then 0 else b mod l1 in
+      let l2 = l1 - p2 in
+      let s2 = Message.Slice.sub s1 ~pos:p2 ~len:l2 in
+      let p3 = if l2 = 0 then 0 else c mod l2 in
+      let l3 = l2 - p3 in
+      let s3 = Message.Slice.sub s2 ~pos:p3 ~len:l3 in
+      let direct = Message.read_string m ~pos:(p1 + p2 + p3) ~len:l3 in
+      let through = Message.Slice.read_string s3 ~pos:0 ~len:l3 in
+      Message.Slice.release s3;
+      Message.Slice.release s2;
+      Message.Slice.release s1;
+      direct = through && Message.refs m = 1)
+
+let prop_slice_refcount_conservation =
+  QCheck2.Test.make
+    ~name:"heap live blocks return to baseline after slices die"
+    (* every block stays pinned until its slice dies, so bound the batch
+       well under the 8 KB heap *)
+    QCheck2.Gen.(list_size (int_range 0 40) (int_range 1 12))
+    (fun lens ->
+      let eng = Engine.create () in
+      let mem = Bytes.make 8192 '\000' in
+      let heap = Buffer_heap.create ~base:0 ~size:8192 in
+      let mb =
+        Mailbox.create eng ~heap ~mem ~name:"mb" ~cached_buffer_bytes:0 ()
+      in
+      let ctx = null_ctx eng in
+      let baseline = Buffer_heap.live_blocks heap in
+      let ok = ref true in
+      Engine.spawn eng (fun () ->
+          let slices =
+            List.map
+              (fun n ->
+                let m = Mailbox.begin_put ctx mb (16 + n) in
+                let s = Message.slice m ~pos:0 ~len:n in
+                Mailbox.end_put ctx mb m;
+                let r = Mailbox.begin_get ctx mb in
+                Mailbox.end_get ctx r;
+                s)
+              lens
+          in
+          (* every owner has freed, yet every block is still pinned *)
+          ok :=
+            !ok && Buffer_heap.live_blocks heap = baseline + List.length lens;
+          List.iter Message.Slice.release slices;
+          ok := !ok && Buffer_heap.live_blocks heap = baseline);
+      Engine.run eng;
+      !ok)
+
+let test_headroom_prepend () =
+  let eng = Engine.create () in
+  let mem = Bytes.make 4096 '\000' in
+  let heap = Buffer_heap.create ~base:0 ~size:4096 in
+  let mb = Mailbox.create eng ~heap ~mem ~name:"mb" () in
+  let ctx = null_ctx eng in
+  Engine.spawn eng (fun () ->
+      let m = Mailbox.begin_put ctx mb ~headroom:12 20 in
+      check_int "headroom hidden from the payload view" 20 (Message.length m);
+      Message.write_string m 0 (String.make 20 'p');
+      (* a protocol layer prepends its header in place *)
+      Message.push_head m 12;
+      check_int "header space reclaimed" 32 (Message.length m);
+      Message.write_string m 0 (String.make 12 'H');
+      Alcotest.check_raises "cannot prepend past the reserved headroom"
+        (Invalid_argument "Message.push_head") (fun () ->
+          Message.push_head m 1);
+      Alcotest.(check string) "header and payload adjacent"
+        (String.make 12 'H' ^ String.make 20 'p')
+        (Message.to_string m);
+      Mailbox.end_put ctx mb m;
+      let r = Mailbox.begin_get ctx mb in
+      check_int "receiver sees header + payload" 32 (Message.length r);
+      Mailbox.end_get ctx r);
+  Engine.run eng
+
 (* ---------- Mailbox ---------- *)
 
 let make_mailbox ?byte_limit ?cached_buffer_bytes ?upcall () =
@@ -636,6 +777,16 @@ let () =
           Alcotest.test_case "read/write" `Quick test_message_rw;
           Alcotest.test_case "adjust" `Quick test_message_adjust;
           Alcotest.test_case "bounds" `Quick test_message_bounds;
+        ] );
+      ( "slice",
+        [
+          Alcotest.test_case "reads its window" `Quick test_slice_reads_window;
+          Alcotest.test_case "refcount pins buffer" `Quick
+            test_slice_refcount_pins_buffer;
+          Alcotest.test_case "bounds and lifecycle" `Quick test_slice_bounds;
+          Alcotest.test_case "headroom prepend" `Quick test_headroom_prepend;
+          qtest prop_nested_slices_read_same_bytes;
+          qtest prop_slice_refcount_conservation;
         ] );
       ( "mailbox",
         [

@@ -10,10 +10,49 @@ let us = Sim_time.us
 (* ---------- Frame ---------- *)
 
 let test_frame_crc () =
-  let f = Frame.create ~id:0 ~src:0 ~data:(Bytes.of_string "hello nectar") in
+  (* the frame's extent aliases the caller's bytes (zero-copy), so
+     mutating them after creation is exactly a wire corruption *)
+  let data = Bytes.of_string "hello nectar" in
+  let f = Frame.create ~id:0 ~src:0 ~data in
   check_bool "intact frame passes CRC" true (Frame.crc_ok f);
-  Bytes.set f.Frame.data 3 'X';
+  Bytes.set data 3 'X';
   check_bool "corrupted frame fails CRC" false (Frame.crc_ok f)
+
+let test_frame_sg_extents () =
+  (* a scatter/gather frame must read and checksum exactly like the same
+     bytes in one contiguous extent *)
+  let whole = Bytes.of_string "header|payload bytes|tail" in
+  let flat = Frame.create ~id:0 ~src:0 ~data:(Bytes.copy whole) in
+  let released = ref 0 in
+  let sg =
+    Frame.create_sg ~id:1 ~src:0
+      ~extents:
+        [
+          (Bytes.sub whole 0 7, 0, 7);
+          (whole, 7, 13);
+          (Bytes.sub whole 20 5, 0, 5);
+        ]
+      ~on_release:(fun () -> incr released)
+  in
+  check_int "sg length" (Bytes.length whole) (Frame.length sg);
+  check_bool "sg crc matches flat crc" true
+    (Frame.crc_ok sg && Frame.crc_ok flat);
+  let out = Bytes.create (Bytes.length whole) in
+  Frame.blit sg ~pos:0 ~dst:out ~dst_pos:0 ~len:(Bytes.length whole);
+  Alcotest.(check string) "blit crosses extents" (Bytes.to_string whole)
+    (Bytes.to_string out);
+  (match Frame.view sg ~pos:7 ~len:13 with
+  | Some (mem, off) ->
+      Alcotest.(check string) "view within one extent" "payload bytes"
+        (Bytes.sub_string mem off 13)
+  | None -> Alcotest.fail "view within an extent must exist");
+  check_bool "view straddling extents is refused" true
+    (Frame.view sg ~pos:5 ~len:6 = None);
+  Frame.release sg;
+  check_int "on_release fired once" 1 !released;
+  Alcotest.check_raises "double release rejected"
+    (Invalid_argument "Frame.release: frame already released") (fun () ->
+      Frame.release sg)
 
 (* ---------- Network helpers ---------- *)
 
@@ -319,8 +358,10 @@ let test_cab_frame_exchange () =
   Engine.spawn eng (fun () ->
       Cab.send_frame a
         ~route:(Net.route net ~src:(Cab.node_id a) ~dst:(Cab.node_id b))
-        ~header_bytes:4 ~data:payload ~pos:0 ~len:(Bytes.length payload)
-        ~on_done:(fun _ -> ()));
+        ~header_bytes:4
+        ~extents:[ (payload, 0, Bytes.length payload) ]
+        ~on_done:(fun _ -> ())
+        ());
   Engine.run eng;
   (match !received with
   | Some (text, crc_ok) ->
@@ -343,8 +384,10 @@ let test_cab_discard_keeps_fifo_clean () =
         let data = Bytes.make 2000 'd' in
         Cab.send_frame a
           ~route:(Net.route net ~src:(Cab.node_id a) ~dst:(Cab.node_id b))
-          ~header_bytes:16 ~data ~pos:0 ~len:2000
+          ~header_bytes:16
+          ~extents:[ (data, 0, 2000) ]
           ~on_done:(fun _ -> ())
+          ()
       done);
   Engine.run eng;
   check_int "all frames seen" 5 !seen;
@@ -365,8 +408,10 @@ let test_cab_large_frame_backpressure () =
   Engine.spawn eng (fun () ->
       Cab.send_frame a
         ~route:(Net.route net ~src:(Cab.node_id a) ~dst:(Cab.node_id b))
-        ~header_bytes:16 ~data ~pos:0 ~len
-        ~on_done:(fun _ -> ()));
+        ~header_bytes:16
+        ~extents:[ (data, 0, len) ]
+        ~on_done:(fun _ -> ())
+        ());
   Engine.run eng;
   check_bool "32 KB frame crossed intact" true !ok
 
@@ -383,8 +428,10 @@ let test_cab_rx_watch_fires_in_order () =
   Engine.spawn eng (fun () ->
       Cab.send_frame a
         ~route:(Net.route net ~src:(Cab.node_id a) ~dst:(Cab.node_id b))
-        ~header_bytes:16 ~data:(Bytes.make 8192 'w') ~pos:0 ~len:8192
-        ~on_done:(fun _ -> ()));
+        ~header_bytes:16
+        ~extents:[ (Bytes.make 8192 'w', 0, 8192) ]
+        ~on_done:(fun _ -> ())
+        ());
   Engine.run eng;
   match List.rev !events with
   | [ ("start-of-data", t1); ("end-of-data", t2) ] ->
@@ -397,7 +444,12 @@ let test_cab_rx_watch_fires_in_order () =
 let () =
   Alcotest.run "nectar_fabric"
     [
-      ("frame", [ Alcotest.test_case "hardware crc" `Quick test_frame_crc ]);
+      ( "frame",
+        [
+          Alcotest.test_case "hardware crc" `Quick test_frame_crc;
+          Alcotest.test_case "scatter/gather extents" `Quick
+            test_frame_sg_extents;
+        ] );
       ( "network",
         [
           Alcotest.test_case "single hub timing" `Quick

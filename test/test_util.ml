@@ -205,6 +205,44 @@ let prop_tcp_conn_injective =
       and k2 = Int_key.tcp_conn ~lport:l2 ~raddr:a2 ~rport:r2 in
       (k1 = k2) = (l1 = l2 && a1 = a2 && r1 = r2))
 
+(* ---------- Copy_meter ---------- *)
+
+let test_copy_meter_counts () =
+  Copy_meter.reset ();
+  check_int "fresh: no copies" 0 (Copy_meter.copies ());
+  Copy_meter.record ~owner:"cab-a" Copy_meter.App 100;
+  Copy_meter.record ~owner:"cab-a" Copy_meter.App 28;
+  Copy_meter.record ~owner:"cab-b" Copy_meter.Host 64;
+  Copy_meter.record Copy_meter.Rxread 12;
+  check_int "total copies" 4 (Copy_meter.copies ());
+  check_int "total bytes" (100 + 28 + 64 + 12) (Copy_meter.bytes_copied ());
+  check_int "by site" 2 (Copy_meter.copies ~site:Copy_meter.App ());
+  check_int "by site bytes" 128 (Copy_meter.bytes_copied ~site:Copy_meter.App ());
+  check_int "by owner" 2 (Copy_meter.copies ~owner:"cab-a" ());
+  check_int "by owner and site" 1
+    (Copy_meter.copies ~owner:"cab-b" ~site:Copy_meter.Host ());
+  check_int "absent combination" 0
+    (Copy_meter.bytes_copied ~owner:"cab-a" ~site:Copy_meter.Host ());
+  check_int "eliminated site stays zero" 0
+    (Copy_meter.copies ~site:Copy_meter.Txsnap ());
+  Copy_meter.reset ();
+  check_int "reset clears" 0 (Copy_meter.bytes_copied ())
+
+let test_copy_meter_report () =
+  Copy_meter.reset ();
+  Copy_meter.record ~owner:"b" Copy_meter.Frag 10;
+  Copy_meter.record ~owner:"a" Copy_meter.App 5;
+  Copy_meter.record ~owner:"a" Copy_meter.App 7;
+  Alcotest.(check (list (triple string int int)))
+    "per-site report in fixed order, zero sites omitted"
+    [ ("frag", 1, 10); ("app", 2, 12) ]
+    (Copy_meter.report ());
+  Alcotest.(check (list (triple string int int)))
+    "per-owner report sorted by name"
+    [ ("a", 2, 12); ("b", 1, 10) ]
+    (Copy_meter.report_owners ());
+  Copy_meter.reset ()
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -236,6 +274,11 @@ let () =
           Alcotest.test_case "basics" `Quick test_heap_basics;
           qtest prop_heap_drains_sorted;
           qtest prop_heap_interleaved_model;
+        ] );
+      ( "copy_meter",
+        [
+          Alcotest.test_case "counts and filters" `Quick test_copy_meter_counts;
+          Alcotest.test_case "reports" `Quick test_copy_meter_report;
         ] );
       ( "int_key",
         [

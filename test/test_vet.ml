@@ -166,6 +166,99 @@ let test_use_after_free_write () =
   in
   assert_finding ~checker:"heap" ~sub:"use-after-free write" findings
 
+(* ---------- slice (zero-copy buffer references) ---------- *)
+
+let test_slice_double_release () =
+  let _, findings =
+    Vet.run (fun () ->
+        let eng = Engine.create () in
+        let mb, _ = make_mailbox eng "mb" in
+        let ctx = null_ctx eng in
+        Engine.spawn eng (fun () ->
+            let m = Mailbox.begin_put ctx mb 32 in
+            let s = Message.slice m ~pos:4 ~len:8 in
+            Message.Slice.release s;
+            (* second release of the same view: the seeded bug *)
+            Message.Slice.release s;
+            Mailbox.abort_put ctx mb m);
+        Engine.run eng)
+  in
+  assert_finding ~checker:"slice" ~sub:"double release" findings
+
+let test_slice_use_after_release () =
+  let _, findings =
+    Vet.run (fun () ->
+        let eng = Engine.create () in
+        let mb, _ = make_mailbox eng "mb" in
+        let ctx = null_ctx eng in
+        Engine.spawn eng (fun () ->
+            let m = Mailbox.begin_put ctx mb 32 in
+            Message.write_string m 0 "0123456789abcdef";
+            let s = Message.slice m ~pos:0 ~len:16 in
+            Message.Slice.release s;
+            (* reading through a released view: stale extent access *)
+            ignore (Message.Slice.read_string s ~pos:0 ~len:4);
+            Mailbox.abort_put ctx mb m);
+        Engine.run eng)
+  in
+  assert_finding ~checker:"slice" ~sub:"use after release" findings
+
+let test_slice_leaked_at_teardown () =
+  let _, findings =
+    Vet.run (fun () ->
+        let eng = Engine.create () in
+        let mb, _ = make_mailbox eng "mb" in
+        let ctx = null_ctx eng in
+        Engine.spawn eng (fun () ->
+            let m = Mailbox.begin_put ctx mb 32 in
+            (* slice taken and never released: still live at teardown *)
+            ignore (Message.slice m ~pos:0 ~len:8);
+            Mailbox.abort_put ctx mb m);
+        Engine.run eng)
+  in
+  assert_finding ~checker:"slice" ~sub:"leaked slice" findings;
+  (* the unreleased slice also pins the owner-freed buffer *)
+  assert_finding ~checker:"slice" ~sub:"leaked retain" findings
+
+let test_over_release () =
+  let _, findings =
+    Vet.run (fun () ->
+        let eng = Engine.create () in
+        let mb, _ = make_mailbox eng "mb" in
+        let ctx = null_ctx eng in
+        Engine.spawn eng (fun () ->
+            let m = Mailbox.begin_put ctx mb 32 in
+            (* one retain, two releases: more releases than references *)
+            Message.retain m;
+            Message.release m;
+            Mailbox.abort_put ctx mb m;
+            Message.release m);
+        Engine.run eng)
+  in
+  assert_finding ~checker:"slice" ~sub:"over-release" findings
+
+let test_slice_clean_pair () =
+  let _, findings =
+    Vet.run (fun () ->
+        let eng = Engine.create () in
+        let mb, _ = make_mailbox eng "mb" in
+        let ctx = null_ctx eng in
+        Engine.spawn eng (fun () ->
+            let m = Mailbox.begin_put ctx mb 32 in
+            Message.write_string m 0 "balanced references";
+            let s = Message.slice m ~pos:0 ~len:8 in
+            let sub = Message.Slice.sub s ~pos:2 ~len:4 in
+            Mailbox.end_put ctx mb m;
+            let r = Mailbox.begin_get ctx mb in
+            Mailbox.end_get ctx r;
+            (* slices outlive the owner's free; releasing them drops the
+               buffer *)
+            Message.Slice.release sub;
+            Message.Slice.release s);
+        Engine.run eng)
+  in
+  Alcotest.(check int) "no findings" 0 (List.length findings)
+
 (* ---------- interrupt ---------- *)
 
 let test_blocking_lock_from_interrupt () =
@@ -228,6 +321,17 @@ let () =
           Alcotest.test_case "double free" `Quick test_double_free;
           Alcotest.test_case "use-after-free write" `Quick
             test_use_after_free_write;
+        ] );
+      ( "slice",
+        [
+          Alcotest.test_case "double release" `Quick test_slice_double_release;
+          Alcotest.test_case "use after release" `Quick
+            test_slice_use_after_release;
+          Alcotest.test_case "leaked at teardown" `Quick
+            test_slice_leaked_at_teardown;
+          Alcotest.test_case "over-release" `Quick test_over_release;
+          Alcotest.test_case "balanced pair is clean" `Quick
+            test_slice_clean_pair;
         ] );
       ( "interrupt",
         [
