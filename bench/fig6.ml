@@ -4,8 +4,10 @@
    two ends, ~40% CAB-to-CAB, and ~20% host processing (creating and
    reading the message).
 
-   The bench replays the figure's exact path with timestamps at the stage
-   boundaries:
+   The bench replays the figure's exact path, recording an instant trace
+   event at each stage boundary (rounds are strictly sequential, so the
+   i-th occurrence of every label belongs to round i — exactly the
+   per-iteration lookup Trace.occurrences provides):
 
      t0  host starts creating the message
      t1  host finishes begin_put/fill/end_put (the CAB is now interrupted)
@@ -25,32 +27,17 @@ let payload_bytes = 64
 let iterations = 12
 let warmup = 4
 
-type stamps = {
-  mutable t0 : int;
-  mutable ta : int; (* after app-level create, before begin_put *)
-  mutable tb : int; (* after begin_put bookkeeping *)
-  mutable tc : int; (* after payload written over VME *)
-  mutable t1 : int;
-  mutable t2 : int;
-  mutable t3 : int;
-  mutable t4 : int;
-  mutable td : int; (* after payload read over VME *)
-  mutable t5 : int;
-}
+let mark label = Trace.instant ~track:"fig6" label
 
 let run () =
   let w = host_pair () in
   let eng = w.heng in
   let port = 900 in
-  let st =
-    { t0 = 0; ta = 0; tb = 0; tc = 0; t1 = 0; t2 = 0; t3 = 0; t4 = 0;
-      td = 0; t5 = 0 }
-  in
-  let acc = Array.make 7 0 in
-  let rounds = ref 0 in
+  let tracer = Trace.create eng in
+  Trace.install tracer;
   let inbox =
     Runtime.create_mailbox w.hstack_b.Stack.rt ~name:"f6-inbox" ~port
-      ~upcall:(fun _ctx _mb -> st.t3 <- Engine.now eng)
+      ~upcall:(fun _ctx _mb -> mark "t3")
       ()
   in
   let send_mb =
@@ -59,7 +46,7 @@ let run () =
   spawn_cab_thread w.hstack_a ~name:"send-server" (fun ctx ->
       while true do
         let m = Mailbox.begin_get ctx send_mb in
-        st.t2 <- Engine.now eng;
+        mark "t2";
         let payload = Message.read_string m ~pos:0 ~len:(Message.length m) in
         Mailbox.end_get ctx m;
         Dgram.send_string ctx w.hstack_a.Stack.dgram ~dst_cab:1 ~dst_port:port
@@ -77,52 +64,62 @@ let run () =
   Host.spawn_process w.host_b ~name:"reader" (fun ctx ->
       for _ = 1 to iterations do
         let m = Hostlib.begin_get ctx h_in in
-        st.t4 <- Engine.now eng;
+        mark "t4";
         let s = Hostlib.read_string ctx h_in m in
         Table1.touch ctx (String.length s);
-        st.td <- Engine.now eng;
+        mark "td";
         Hostlib.end_get ctx h_in m;
-        st.t5 <- Engine.now eng;
+        mark "t5";
         ignore (Waitq.signal round_done)
       done);
   Host.spawn_process w.host_a ~name:"writer" (fun ctx ->
-      for round = 1 to iterations do
-        st.t0 <- Engine.now eng;
+      for _ = 1 to iterations do
+        mark "t0";
         Table1.touch ctx payload_bytes;
-        st.ta <- Engine.now eng;
+        mark "ta";
         let m = Hostlib.begin_put ctx h_send payload_bytes in
-        st.tb <- Engine.now eng;
+        mark "tb";
         Hostlib.write_string ctx h_send m ~pos:0
           (String.make payload_bytes 'x');
-        st.tc <- Engine.now eng;
+        mark "tc";
         Hostlib.end_put ctx h_send m;
-        st.t1 <- Engine.now eng;
-        Waitq.wait round_done;
-        if round > warmup then begin
-          incr rounds;
-          (* host application work: produce + in-place payload writes *)
-          acc.(0) <- acc.(0) + (st.ta - st.t0) + (st.tc - st.tb);
-          (* host-CAB interface, sender: mailbox bookkeeping, signal queue,
-             CAB thread schedule *)
-          acc.(1) <- acc.(1) + (st.tb - st.ta) + (st.t1 - st.tc)
-                     + (st.t2 - st.t1);
-          (* CAB to CAB *)
-          acc.(2) <- acc.(2) + (st.t3 - st.t2);
-          (* host-CAB interface, receiver: poll wakeup + bookkeeping *)
-          acc.(3) <- acc.(3) + (st.t4 - st.t3) + (st.t5 - st.td);
-          (* host application work: payload reads + consume *)
-          acc.(4) <- acc.(4) + (st.td - st.t4)
-        end
+        mark "t1";
+        Waitq.wait round_done
       done);
   Engine.run eng;
-  let n = !rounds in
+  Trace.uninstall ();
+  let occ label =
+    let times = Array.of_list (Trace.occurrences tracer label) in
+    if Array.length times <> iterations then
+      failwith (Printf.sprintf "fig6: expected %d %s marks, got %d" iterations
+                  label (Array.length times));
+    times
+  in
+  let t0 = occ "t0" and ta = occ "ta" and tb = occ "tb" and tc = occ "tc"
+  and t1 = occ "t1" and t2 = occ "t2" and t3 = occ "t3" and t4 = occ "t4"
+  and td = occ "td" and t5 = occ "t5" in
+  let acc = Array.make 5 0 in
+  for i = warmup to iterations - 1 do
+    (* host application work: produce + in-place payload writes *)
+    acc.(0) <- acc.(0) + (ta.(i) - t0.(i)) + (tc.(i) - tb.(i));
+    (* host-CAB interface, sender: mailbox bookkeeping, signal queue,
+       CAB thread schedule *)
+    acc.(1) <- acc.(1) + (tb.(i) - ta.(i)) + (t1.(i) - tc.(i))
+               + (t2.(i) - t1.(i));
+    (* CAB to CAB *)
+    acc.(2) <- acc.(2) + (t3.(i) - t2.(i));
+    (* host-CAB interface, receiver: poll wakeup + bookkeeping *)
+    acc.(3) <- acc.(3) + (t4.(i) - t3.(i)) + (t5.(i) - td.(i));
+    (* host application work: payload reads + consume *)
+    acc.(4) <- acc.(4) + (td.(i) - t4.(i))
+  done;
+  let n = iterations - warmup in
   let avg i = acc.(i) / n in
   let create = avg 0
   and to_cab = avg 1
   and cab_cab = avg 2
   and to_host = avg 3
   and read = avg 4 in
-  ignore (acc.(5), acc.(6));
   let total = create + to_cab + cab_cab + to_host + read in
   section "Figure 6: one-way host-to-host datagram latency breakdown";
   let pct x = 100. *. float_of_int x /. float_of_int total in

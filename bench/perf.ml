@@ -388,6 +388,23 @@ let run ?(smoke = false) () =
     (fun (win, (tput, _, _, _)) ->
       Printf.printf "    window %-3d %8s Mbit/s\n" win (fmt_mbps tput))
     sweep;
+  check "tracer disabled (zero-cost hooks compiled in)"
+    (not (Trace.installed ()));
+  if smoke then
+    (* BENCH_perf.json regression gate: the recorded full-size windowed-RMP
+       numbers must reproduce exactly with tracing compiled in but disabled *)
+    List.iter
+      (fun (win, want) ->
+        let tput, got, retx, failed =
+          windowed_run ~window:win ~ack_delay:0 ~size:8192 ~count:183
+        in
+        let r = Float.round (tput *. 10.) /. 10. in
+        check
+          (Printf.sprintf
+             "BENCH_perf.json window %d: %.1f Mbit/s (recorded %.1f)" win r
+             want)
+          (r = want && got = 183 && retx = 0 && failed = 0))
+      [ (1, 84.9); (4, 94.1); (16, 94.1) ];
   (* Small frames so several receive completions land inside one coalesce
      window (a 512 B frame occupies the sink's link for ~44 us). *)
   let senders = if smoke then 3 else 4 in

@@ -416,6 +416,299 @@ let run_chaos seed only verbose =
           (String.concat ", " nondet);
       exit 1
 
+(* ---------- trace ---------- *)
+
+(* The Figure 6 scenario (one-way 64-byte host-to-host datagrams), run
+   under an installed tracer: every layer's spans land in the ring, and we
+   emit them as Chrome trace-event JSON plus a per-stage rollup. *)
+let run_trace_scenario ~iterations ~payload =
+  let eng, net, a, b = chain_world ~hubs:1 () in
+  let port = 900 in
+  let tracer = Trace.create eng in
+  Trace.install tracer;
+  let inbox = Runtime.create_mailbox b.Stack.rt ~name:"trace-inbox" ~port () in
+  let send_mb = Runtime.create_mailbox a.Stack.rt ~name:"trace-send" () in
+  ignore
+    (Thread.create (Runtime.cab a.Stack.rt) ~name:"send-server" (fun ctx ->
+         while true do
+           let m = Mailbox.begin_get ctx send_mb in
+           let payload = Message.read_string m ~pos:0 ~len:(Message.length m) in
+           Mailbox.end_get ctx m;
+           Dgram.send_string ctx a.Stack.dgram ~dst_cab:(Stack.node_id b)
+             ~dst_port:port payload
+         done));
+  let host_a, drv_a = attach_host eng a "host-a" in
+  let host_b, drv_b = attach_host eng b "host-b" in
+  let h_send =
+    Hostlib.attach drv_a send_mb ~mode:Hostlib.Shared_memory ~readers:`Cab
+  in
+  let h_in =
+    Hostlib.attach drv_b inbox ~mode:Hostlib.Shared_memory ~readers:`Host
+  in
+  let round_done = Waitq.create eng ~name:"trace-round" () in
+  Host.spawn_process host_b ~name:"reader" (fun ctx ->
+      for _ = 1 to iterations do
+        let m = Hostlib.begin_get ctx h_in in
+        ignore (Hostlib.read_string ctx h_in m);
+        Hostlib.end_get ctx h_in m;
+        ignore (Waitq.signal round_done)
+      done);
+  Host.spawn_process host_a ~name:"writer" (fun ctx ->
+      for _ = 1 to iterations do
+        let m = Hostlib.begin_put ctx h_send payload in
+        Hostlib.write_string ctx h_send m ~pos:0 (String.make payload 'x');
+        Hostlib.end_put ctx h_send m;
+        Waitq.wait round_done
+      done);
+  let reg = Nectar_util.Metrics.create () in
+  Stack.register_metrics a reg;
+  Stack.register_metrics b reg;
+  Net.register_metrics net reg ~prefix:"";
+  Nectar_util.Copy_meter.reset ();
+  Nectar_util.Copy_meter.register_metrics reg ~prefix:"";
+  Mailbox.register_metrics inbox reg ~prefix:(Cab.name (Runtime.cab b.Stack.rt) ^ ".");
+  Mailbox.register_metrics send_mb reg ~prefix:(Cab.name (Runtime.cab a.Stack.rt) ^ ".");
+  Engine.run eng;
+  Trace.uninstall ();
+  (tracer, reg)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Chrome trace-event JSON (chrome://tracing / Perfetto loadable):
+   matched spans become complete "X" events, instants "i" events, and each
+   track gets a tid with a thread_name metadata record. *)
+let chrome_json tracer =
+  let spans = Trace.spans tracer in
+  let instants =
+    List.filter (fun e -> e.Trace.kind = Trace.Instant) (Trace.events tracer)
+  in
+  let tids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let tracks_in_order = ref [] in
+  let tid track =
+    match Hashtbl.find_opt tids track with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length tids + 1 in
+        Hashtbl.replace tids track id;
+        tracks_in_order := track :: !tracks_in_order;
+        id
+  in
+  let buf = Buffer.create 65536 in
+  let sep = ref "" in
+  let emit fmt =
+    Buffer.add_string buf !sep;
+    sep := ",\n";
+    Printf.ksprintf (Buffer.add_string buf) fmt
+  in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  List.iter
+    (fun s ->
+      emit "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+        (json_escape s.Trace.s_label)
+        (Sim_time.to_us s.Trace.s_begin)
+        (Sim_time.to_us (s.Trace.s_end - s.Trace.s_begin))
+        (tid s.Trace.s_track))
+    spans;
+  List.iter
+    (fun e ->
+      emit "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\",\"pid\":1,\"tid\":%d}"
+        (json_escape e.Trace.label)
+        (Sim_time.to_us e.Trace.time)
+        (tid e.Trace.track))
+    instants;
+  List.iter
+    (fun track ->
+      emit
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+        (Hashtbl.find tids track) (json_escape track))
+    (List.rev !tracks_in_order);
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* Minimal JSON syntax checker (no external dependency): validates that the
+   emitted trace is well-formed before CI trusts it. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let fail = ref false in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos else fail := true
+  in
+  let rec value () =
+    if !fail then ()
+    else begin
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> str ()
+      | Some 't' -> lit "true"
+      | Some 'f' -> lit "false"
+      | Some 'n' -> lit "null"
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> fail := true
+    end
+  and lit w =
+    if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
+    then pos := !pos + String.length w
+    else fail := true
+  and number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    while
+      !pos < n
+      && (match s.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then fail := true
+  and str () =
+    expect '"';
+    let closed = ref false in
+    while (not !closed) && not !fail do
+      if !pos >= n then fail := true
+      else
+        match s.[!pos] with
+        | '"' ->
+            incr pos;
+            closed := true
+        | '\\' -> pos := !pos + 2
+        | _ -> incr pos
+    done
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let more = ref true in
+      while !more && not !fail do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some ']' ->
+            incr pos;
+            more := false
+        | _ -> fail := true
+      done
+    end
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let more = ref true in
+      while !more && not !fail do
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos
+        | Some '}' ->
+            incr pos;
+            more := false
+        | _ -> fail := true
+      done
+    end
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !pos = n
+
+(* Every stage of the fig6 path must appear as a matched begin/end pair. *)
+let required_stages =
+  [
+    "host.begin_put";
+    "host.write";
+    "host.end_put";
+    "host.begin_get";
+    "host.read";
+    "host.end_get";
+    "vme.pio";
+    "dl.tx";
+    "tx.dma";
+    "wire";
+    "rx.dma";
+  ]
+
+let run_trace out check iterations =
+  let tracer, reg = run_trace_scenario ~iterations ~payload:64 in
+  let json = chrome_json tracer in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "wrote %s (%d events, %d dropped)\n" path
+        (Trace.recorded tracer) (Trace.dropped tracer)
+  | None -> ());
+  Printf.printf
+    "trace: fig6 scenario, %d x 64-byte datagrams host-to-host (%d events)\n\n"
+    iterations (Trace.recorded tracer);
+  Printf.printf "  %-24s %6s %12s\n" "stage" "count" "total";
+  List.iter
+    (fun (label, count, total) ->
+      Printf.printf "  %-24s %6d %12s\n" label count (Sim_time.to_string total))
+    (Trace.rollup tracer);
+  Printf.printf "\nmetrics:\n";
+  Nectar_util.Metrics.dump reg;
+  if check then begin
+    let failures = ref [] in
+    let bad fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+    if not (json_valid json) then bad "emitted Chrome JSON does not parse";
+    let spans = Trace.spans tracer in
+    List.iter
+      (fun stage ->
+        if not (List.exists (fun s -> s.Trace.s_label = stage) spans) then
+          bad "no matched begin/end pair for stage %s" stage)
+      required_stages;
+    let begins, ends =
+      List.fold_left
+        (fun (b, e) ev ->
+          match ev.Trace.kind with
+          | Trace.Span_begin -> (b + 1, e)
+          | Trace.Span_end -> (b, e + 1)
+          | Trace.Instant -> (b, e))
+        (0, 0) (Trace.events tracer)
+    in
+    if List.length spans < ends then
+      bad "span matching lost pairs (%d ends, %d matched)" ends
+        (List.length spans);
+    if begins < ends then bad "more span ends (%d) than begins (%d)" ends begins;
+    if Trace.dropped tracer > 0 then
+      bad "ring overflowed (%d dropped) on the check scenario"
+        (Trace.dropped tracer);
+    match List.rev !failures with
+    | [] -> Printf.printf "\ntrace --check: OK\n"
+    | fs ->
+        List.iter (fun f -> Printf.printf "\ntrace --check: FAIL: %s" f) fs;
+        print_newline ();
+        exit 1
+  end
+
 (* ---------- cmdliner wiring ---------- *)
 
 open Cmdliner
@@ -491,9 +784,37 @@ let chaos_cmd =
           nonzero on any invariant violation, finding or mismatch")
     Term.(const run_chaos $ seed $ only $ verbose)
 
+let trace_cmd =
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ]
+             ~doc:"Write Chrome trace-event JSON (chrome://tracing loadable) \
+                   to $(docv)." ~docv:"FILE")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Validate the emitted JSON and assert a matched begin/end \
+                   span for every host/VME/CAB/wire stage; exit nonzero on \
+                   failure.")
+  in
+  let iterations =
+    Arg.(value & opt int 4 & info [ "iterations" ] ~doc:"Datagrams to trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay the Figure 6 datagram scenario under the causal tracer: \
+          per-stage span rollup, unified metrics dump, and optional Chrome \
+          trace-event JSON export")
+    Term.(const run_trace $ out $ check $ iterations)
+
 let () =
   let doc = "Nectar communication processor simulation scenarios" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "nectar-cli" ~doc)
-          [ ping_cmd; latency_cmd; throughput_cmd; info_cmd; vet_cmd; chaos_cmd ]))
+          [
+            ping_cmd; latency_cmd; throughput_cmd; info_cmd; vet_cmd;
+            chaos_cmd; trace_cmd;
+          ]))

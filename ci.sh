@@ -1,9 +1,12 @@
 #!/bin/sh
 # Full local CI: build everything, run the test suite, then the
 # correctness gate (nectar-lint + every scenario under nectar-vet),
-# then the seeded chaos campaigns and the perf-harness smoke (its
-# assertions are deterministic delivery/batch counts and exact
-# zero-copy byte counters — wall-clock numbers are never gated in CI).
+# then the seeded chaos campaigns, the perf-harness smoke (its
+# assertions are deterministic delivery/batch counts, exact zero-copy
+# byte counters, and the recorded BENCH_perf.json throughputs with
+# tracing compiled in but disabled — wall-clock numbers are never
+# gated in CI), and the trace self-check (Chrome JSON parses, every
+# data-path stage appears as a matched begin/end pair, no ring drops).
 set -eux
 
 dune build @all
@@ -11,3 +14,4 @@ dune runtest
 dune build @vet
 dune build @chaos
 dune exec bench/main.exe -- perf-smoke
+dune exec bin/nectar_cli.exe -- trace --check --out /tmp/nectar_trace_ci.json

@@ -37,6 +37,7 @@ let tx_dma_process t () =
       Waitq.wait t.tx_ready
     done;
     let req = Queue.take t.tx_queue in
+    let tid = Trace.span_begin ~track:t.cname "tx.dma" in
     (* Zero-copy: the frame's scatter/gather extents reference the sender's
        buffers directly (the hardware CRC is latched here, at dequeue time);
        the simulated DMA then reads them out of memory into the output FIFO
@@ -61,6 +62,7 @@ let tx_dma_process t () =
       Engine.sleep t.eng (n * Costs.mem_dma_ns_per_byte);
       remaining := !remaining - n
     done;
+    Trace.span_end tid;
     Interrupts.post t.irq_ctl ~name:"tx-done" req.on_done;
     Stats.Counter.incr t.tx_count
   done

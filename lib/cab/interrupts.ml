@@ -36,14 +36,17 @@ let post t ~name fn =
   Stats.Counter.incr t.count;
   Engine.spawn t.eng ~name:(t.iname ^ ".irq." ^ name) (fun () ->
       Resource.with_held t.serial (fun () ->
+          (* span covers dispatch + handler: interrupt entry to exit *)
+          let tid = Trace.span_begin ~track:(Cpu.owner_name t.irq_owner) name in
           work t t.dispatch_ns;
-          if Vet_probe.installed () then begin
-            Vet_probe.interrupt_enter t.eng ~name:(t.iname ^ "." ^ name);
-            Fun.protect
-              ~finally:(fun () -> Vet_probe.interrupt_exit t.eng)
-              (fun () -> fn t)
-          end
-          else fn t))
+          (if Vet_probe.installed () then begin
+             Vet_probe.interrupt_enter t.eng ~name:(t.iname ^ "." ^ name);
+             Fun.protect
+               ~finally:(fun () -> Vet_probe.interrupt_exit t.eng)
+               (fun () -> fn t)
+           end
+           else fn t);
+          Trace.span_end tid))
 
 let posted t = Stats.Counter.value t.count
 let ctx_engine (t : ctx) = t.eng

@@ -112,6 +112,7 @@ let read_bytes t p n =
 let drain_loop t p ~deliver ~on_done =
   let len = total p in
   Engine.spawn t.eng ~name:(t.rname ^ ".rx-dma") (fun () ->
+      let tid = Trace.span_begin ~track:t.rname "rx.dma" in
       while p.consumed < len do
         while p.arrived <= p.consumed do
           Waitq.wait p.arrival
@@ -122,6 +123,7 @@ let drain_loop t p ~deliver ~on_done =
         deliver ~pos:p.consumed ~len:n;
         p.consumed <- p.consumed + n
       done;
+      Trace.span_end tid;
       (* [on_done] first: it captures the hardware CRC verdict from the
          frame's extents, and the release below may drop the last reference
          to the sender-side buffer backing them *)
@@ -143,6 +145,7 @@ let post_completion t cb =
              let cbs = List.rev t.batch in
              t.batch <- [];
              t.batches <- t.batches + 1;
+             Trace.instant ~track:t.rname "rx.batch";
              Interrupts.post t.irq ~name:"rx-done-batch" (fun ictx ->
                  List.iter (fun cb -> cb ictx) cbs)))
     end
@@ -175,7 +178,14 @@ let dma_to_memory t p ~dst ~dst_pos ?(watch = []) ~on_complete () =
 
 let discard t p =
   t.drops <- t.drops + 1;
+  Trace.instant ~track:t.rname "rx.drop";
   drain_loop t p ~deliver:(fun ~pos:_ ~len:_ -> ()) ~on_done:(fun () -> ())
 
 let dropped_frames t = t.drops
 let completion_batches t = t.batches
+
+let register_metrics t reg ~prefix =
+  Nectar_util.Metrics.counter reg (prefix ^ "rx.dropped_frames") (fun () ->
+      dropped_frames t);
+  Nectar_util.Metrics.counter reg (prefix ^ "rx.completion_batches") (fun () ->
+      completion_batches t)

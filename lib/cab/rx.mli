@@ -88,3 +88,6 @@ val dropped_frames : t -> int
 val completion_batches : t -> int
 (** Coalesced completion batches flushed so far; 0 unless [coalesce_ns]
     was set. *)
+
+val register_metrics : t -> Nectar_util.Metrics.t -> prefix:string -> unit
+(** Register dropped_frames/completion_batches as [<prefix>rx.*]. *)

@@ -3,6 +3,7 @@ open Nectar_sim
 type t = {
   eng : Engine.t;
   bus_res : Resource.t;
+  vname : string; (* trace track for bus crossings *)
   moved : Stats.Counter.t;
   mutable fault : (unit -> bool) option;
   mutable error_count : int;
@@ -12,6 +13,7 @@ let create eng ~name =
   {
     eng;
     bus_res = Resource.create eng ~name:(name ^ ".vme") ();
+    vname = name ^ ".vme";
     moved = Stats.Counter.create ();
     fault = None;
     error_count = 0;
@@ -32,6 +34,7 @@ let bus_errored t =
 
 let pio t ~cpu ~owner ~priority ~bytes =
   if bytes < 0 then invalid_arg "Vme.pio";
+  let tid = Trace.span_begin ~track:t.vname "vme.pio" in
   let remaining = ref bytes in
   while !remaining > 0 do
     let n = min !remaining Costs.vme_pio_batch_bytes in
@@ -42,6 +45,7 @@ let pio t ~cpu ~owner ~priority ~bytes =
     (* a faulted batch burned its bus cycles but moved nothing: rerun it *)
     if not (bus_errored t) then remaining := !remaining - n
   done;
+  Trace.span_end tid;
   Stats.Counter.add t.moved bytes
 
 let pio_words t ~cpu ~owner ~priority ~words =
@@ -49,12 +53,14 @@ let pio_words t ~cpu ~owner ~priority ~words =
 
 let dma t ~bytes =
   if bytes < 0 then invalid_arg "Vme.dma";
+  let tid = Trace.span_begin ~track:t.vname "vme.dma" in
   let done_ = ref false in
   while not !done_ do
     Resource.with_held t.bus_res (fun () ->
         Engine.sleep t.eng (bytes * Costs.vme_dma_ns_per_byte));
     done_ := not (bus_errored t)
   done;
+  Trace.span_end tid;
   Stats.Counter.add t.moved bytes
 
 let bytes_moved t = Stats.Counter.value t.moved

@@ -273,3 +273,13 @@ let overflow_drops t = t.overflow_drop_count
 let puts t = Stats.Counter.value t.put_count
 let gets t = Stats.Counter.value t.get_count
 let cache_hits t = Stats.Counter.value t.cache_hit_count
+
+let register_metrics t reg ~prefix =
+  let base = prefix ^ "mbox." ^ name t ^ "." in
+  Nectar_util.Metrics.counter reg (base ^ "puts") (fun () -> puts t);
+  Nectar_util.Metrics.counter reg (base ^ "gets") (fun () -> gets t);
+  Nectar_util.Metrics.counter reg (base ^ "cache_hits") (fun () -> cache_hits t);
+  Nectar_util.Metrics.counter reg (base ^ "overflow_drops") (fun () ->
+      overflow_drops t);
+  Nectar_util.Metrics.gauge reg (base ^ "bytes_in_use") (fun () ->
+      float_of_int (bytes_in_use t))

@@ -100,3 +100,7 @@ val overflow_drops : t -> int
 val puts : t -> int
 val gets : t -> int
 val cache_hits : t -> int
+
+val register_metrics : t -> Nectar_util.Metrics.t -> prefix:string -> unit
+(** Register puts/gets/cache_hits/overflow_drops and a bytes-in-use gauge
+    as [<prefix>mbox.<name>.*]. *)

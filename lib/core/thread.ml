@@ -43,9 +43,13 @@ let create cab ?(priority = System) ~name body =
       masked = false;
     }
   in
+  let start_label = "thread.start:" ^ name
+  and exit_label = "thread.exit:" ^ name in
   Engine.spawn eng ~name (fun () ->
+      Trace.instant ~track:(Cab.name cab) start_label;
       body (ctx t);
       t.finished <- true;
+      Trace.instant ~track:(Cab.name cab) exit_label;
       ignore (Waitq.broadcast t.finish_q));
   t
 

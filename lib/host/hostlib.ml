@@ -10,6 +10,7 @@ type handle = {
   hmode : mode;
   readers : [ `Cab | `Host ];
   opcode : int;
+  htrack : string; (* trace track: the host this handle belongs to *)
   pending_end_put : Message.t Queue.t; (* messages handed to the CAB side *)
   rpc_msgs : (int, Message.t) Hashtbl.t;
   mutable next_msg_id : int;
@@ -31,6 +32,7 @@ let attach drv mbox ~mode ~readers =
       hmode = mode;
       readers;
       opcode;
+      htrack = Host.name (Cab_driver.host drv);
       pending_end_put = Queue.create ();
       rpc_msgs = Hashtbl.create 8;
       next_msg_id = 1;
@@ -76,7 +78,7 @@ let rpc_take h id =
 
 (* ---------- begin_put ---------- *)
 
-let rec begin_put ctx h n =
+let rec begin_put_loop ctx h n =
   match h.hmode with
   | Shared_memory ->
       pio ctx h bookkeeping_bytes;
@@ -92,19 +94,28 @@ let rec begin_put ctx h n =
       else begin
         (* no space: retry after a short delay *)
         Engine.sleep ctx.Ctx.eng (Sim_time.us 50);
-        begin_put ctx h n
+        begin_put_loop ctx h n
       end)
 
+let begin_put ctx h n =
+  let tid = Trace.span_begin ~track:h.htrack "host.begin_put" in
+  let msg = begin_put_loop ctx h n in
+  Trace.span_end tid;
+  msg
+
 let write_string (ctx : Ctx.t) h msg ~pos s =
+  let tid = Trace.span_begin ~track:h.htrack "host.write" in
   pio ctx h (String.length s);
   (* programmed I/O across the VME boundary is a real per-byte copy by the
      host CPU — the one place the zero-copy path must copy out *)
   Nectar_util.Copy_meter.record ~owner:(Mailbox.name h.mbox)
     Nectar_util.Copy_meter.Host (String.length s);
-  Message.write_string msg pos s
+  Message.write_string msg pos s;
+  Trace.span_end tid
 
 let end_put ctx h msg =
-  match h.hmode with
+  let tid = Trace.span_begin ~track:h.htrack "host.end_put" in
+  (match h.hmode with
   | Shared_memory -> (
       pio ctx h (bookkeeping_bytes / 2);
       match h.readers with
@@ -117,11 +128,12 @@ let end_put ctx h msg =
       ignore
         (Cab_driver.rpc ctx h.drv (fun cctx ->
              Mailbox.end_put cctx h.mbox (rpc_take h id);
-             0))
+             0)));
+  Trace.span_end tid
 
 (* ---------- begin_get ---------- *)
 
-let rec begin_get ?(wait = `Poll) ctx h =
+let rec begin_get_loop ~wait ctx h =
   match h.hmode with
   | Shared_memory -> (
       pio ctx h bookkeeping_bytes;
@@ -157,17 +169,27 @@ let rec begin_get ?(wait = `Poll) ctx h =
       if r >= 0 then rpc_take h r
       else begin
         Engine.sleep ctx.Ctx.eng (Sim_time.us 50);
-        begin_get ~wait ctx h
+        begin_get_loop ~wait ctx h
       end)
 
+let begin_get ?(wait = `Poll) ctx h =
+  let tid = Trace.span_begin ~track:h.htrack "host.begin_get" in
+  let msg = begin_get_loop ~wait ctx h in
+  Trace.span_end tid;
+  msg
+
 let read_string (ctx : Ctx.t) h msg =
+  let tid = Trace.span_begin ~track:h.htrack "host.read" in
   pio ctx h (Message.length msg);
   Nectar_util.Copy_meter.record ~owner:(Mailbox.name h.mbox)
     Nectar_util.Copy_meter.Host (Message.length msg);
-  Message.to_string msg
+  let s = Message.to_string msg in
+  Trace.span_end tid;
+  s
 
 let end_get ctx h msg =
-  match h.hmode with
+  let tid = Trace.span_begin ~track:h.htrack "host.end_get" in
+  (match h.hmode with
   | Shared_memory ->
       pio ctx h (bookkeeping_bytes / 2);
       Mailbox.end_get ctx msg
@@ -176,4 +198,5 @@ let end_get ctx h msg =
       ignore
         (Cab_driver.rpc ctx h.drv (fun cctx ->
              Mailbox.end_get cctx (rpc_take h id);
-             0))
+             0)));
+  Trace.span_end tid

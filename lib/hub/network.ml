@@ -191,6 +191,7 @@ let chunk_plan t ~header_bytes total =
   plan 0 []
 
 let transmit ?(header_bytes = 32) t ~src ~route:route_ports frame =
+  let tid = Trace.span_begin ~track:"net" "wire" in
   let verdict =
     match t.fault with None -> `Deliver | Some f -> f frame
   in
@@ -245,7 +246,8 @@ let transmit ?(header_bytes = 32) t ~src ~route:route_ports frame =
         (chunk_plan t ~header_bytes total));
   List.iter (fun (_, p) -> Resource.release p.out_res) (List.rev hops);
   Stats.Counter.incr t.frames;
-  Stats.Counter.add t.bytes total
+  Stats.Counter.add t.bytes total;
+  Trace.span_end tid
 
 let set_fault_hook t hook = t.fault <- hook
 
@@ -260,3 +262,12 @@ let frames_delivered t = Stats.Counter.value t.delivered
 let fault_drops t = Stats.Counter.value t.fault_drops_count
 let frames_corrupted t = Stats.Counter.value t.corrupted
 let link_down_drops t = Stats.Counter.value t.link_down_count
+
+let register_metrics t reg ~prefix =
+  let c name read = Nectar_util.Metrics.counter reg (prefix ^ name) read in
+  c "net.frames_sent" (fun () -> frames_sent t);
+  c "net.bytes_sent" (fun () -> bytes_sent t);
+  c "net.frames_delivered" (fun () -> frames_delivered t);
+  c "net.fault_drops" (fun () -> fault_drops t);
+  c "net.frames_corrupted" (fun () -> frames_corrupted t);
+  c "net.link_down_drops" (fun () -> link_down_drops t)

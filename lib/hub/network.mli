@@ -111,3 +111,6 @@ val frames_delivered : t -> int
 val fault_drops : t -> int
 val frames_corrupted : t -> int
 val link_down_drops : t -> int
+
+val register_metrics : t -> Nectar_util.Metrics.t -> prefix:string -> unit
+(** Register the wire accounting counters as [<prefix>net.*]. *)

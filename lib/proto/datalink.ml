@@ -30,6 +30,7 @@ type t = {
    allocate buffer space in the protocol's input mailbox, program DMA. *)
 let rx_frame t ictx pending =
   let ctx = Ctx.of_interrupt ictx in
+  Nectar_sim.Trace.instant ~track:(Cab.name t.cab) "dl.rx";
   ctx.work Costs.dl_rx_header_ns;
   t.frames_in_count <- t.frames_in_count + 1;
   let rx = Cab.rx t.cab in
@@ -140,6 +141,7 @@ let output_sg (ctx : Ctx.t) t ~dst_cab ~proto ~msg ~tail ~on_done =
     invalid_arg
       (Printf.sprintf "Datalink.output: loopback not supported (%s, dst %d)"
          (Cab.name t.cab) dst_cab);
+  let tid = Nectar_sim.Trace.span_begin ~track:(Cab.name t.cab) "dl.tx" in
   ctx.work Costs.dl_tx_setup_ns;
   let tail_len =
     List.fold_left (fun acc s -> acc + Message.Slice.length s) 0 tail
@@ -178,7 +180,8 @@ let output_sg (ctx : Ctx.t) t ~dst_cab ~proto ~msg ~tail ~on_done =
   (* Restore the caller's view of the message (transport header + payload):
      the frame extent was captured above, and reliable protocols re-send the
      same message on retransmission. *)
-  Message.adjust_head msg Wire.dl_header_bytes
+  Message.adjust_head msg Wire.dl_header_bytes;
+  Nectar_sim.Trace.span_end tid
 
 let output (ctx : Ctx.t) t ~dst_cab ~proto ~msg ~on_done =
   output_sg ctx t ~dst_cab ~proto ~msg ~tail:[] ~on_done
@@ -189,3 +192,12 @@ let drops_bad_len t = t.bad_len
 let drops_crc t = t.crc_drops
 let frames_in t = t.frames_in_count
 let frames_out t = t.frames_out_count
+
+let register_metrics t reg ~prefix =
+  let c name read = Nectar_util.Metrics.counter reg (prefix ^ name) read in
+  c "dl.frames_in" (fun () -> frames_in t);
+  c "dl.frames_out" (fun () -> frames_out t);
+  c "dl.drops_bad_len" (fun () -> drops_bad_len t);
+  c "dl.drops_bad_proto" (fun () -> drops_bad_proto t);
+  c "dl.drops_no_buffer" (fun () -> drops_no_buffer t);
+  c "dl.drops_crc" (fun () -> drops_crc t)

@@ -91,3 +91,6 @@ val drops_bad_len : t -> int
 val drops_crc : t -> int
 val frames_in : t -> int
 val frames_out : t -> int
+
+val register_metrics : t -> Nectar_util.Metrics.t -> prefix:string -> unit
+(** Register the frame/drop counters as [<prefix>dl.*]. *)

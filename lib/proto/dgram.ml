@@ -23,6 +23,9 @@ let write_header (msg : Message.t) ~dst_port ~src_port =
    the destination mailbox, enqueue without copying. *)
 let end_of_data t ctx (msg : Message.t) ~src_cab =
   ignore src_cab;
+  Nectar_sim.Trace.instant
+    ~track:(Nectar_cab.Cab.name (Runtime.cab t.rt))
+    "dgram.deliver";
   ctx.Ctx.work Costs.dgram_ns;
   if Message.length msg < header_bytes then begin
     t.no_port <- t.no_port + 1;
@@ -62,6 +65,9 @@ let alloc ctx t n =
   msg
 
 let send (ctx : Ctx.t) t ~dst_cab ~dst_port ?(src_port = 0) msg =
+  Nectar_sim.Trace.instant
+    ~track:(Nectar_cab.Cab.name (Runtime.cab t.rt))
+    "dgram.send";
   ctx.work Costs.dgram_ns;
   Message.push_head msg header_bytes;
   write_header msg ~dst_port ~src_port;

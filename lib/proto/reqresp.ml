@@ -79,6 +79,7 @@ let send_response t ctx ~dst_cab ~dst_port ~txn response =
         ~on_done:Mailbox.dispose
 
 let run_handler t ctx server ~client_cab ~dst_port ~txn request =
+  Nectar_sim.Trace.instant ~track:t.owner "rpc.serve";
   ctx.Ctx.work Costs.reqresp_ns;
   let key = Nectar_util.Int_key.cab_txn ~cab:client_cab ~txn in
   match Hashtbl.find_opt server.replies key with
@@ -233,6 +234,7 @@ let register_server t ~port ~mode handler =
 
 let call (ctx : Ctx.t) t ~dst_cab ~dst_port request =
   Ctx.assert_may_block ctx "Reqresp.call";
+  let trace_id = Nectar_sim.Trace.span_begin ~track:t.owner "rpc.call" in
   ctx.work Costs.reqresp_ns;
   let txn = t.next_txn in
   t.next_txn <- txn + 1;
@@ -265,8 +267,10 @@ let call (ctx : Ctx.t) t ~dst_cab ~dst_port request =
   let rec attempt tries =
     if tries > t.max_retries then begin
       finish ();
+      Nectar_sim.Trace.span_end trace_id;
       raise (Call_timeout { dst_cab; dst_port })
     end;
+    if tries > 0 then Nectar_sim.Trace.instant ~track:t.owner "rpc.retx";
     incr queued;
     Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_reqresp ~msg
       ~on_done:(fun ctx _ ->
@@ -285,8 +289,15 @@ let call (ctx : Ctx.t) t ~dst_cab ~dst_port request =
   let response = attempt 0 in
   finish ();
   t.completed <- t.completed + 1;
+  Nectar_sim.Trace.span_end trace_id;
   response
 
 let calls_completed t = t.completed
 let requests_served t = t.served
 let duplicate_requests t = t.dups
+
+let register_metrics t reg ~prefix =
+  let c name read = Nectar_util.Metrics.counter reg (prefix ^ name) read in
+  c "rpc.calls_completed" (fun () -> calls_completed t);
+  c "rpc.requests_served" (fun () -> requests_served t);
+  c "rpc.duplicate_requests" (fun () -> duplicate_requests t)

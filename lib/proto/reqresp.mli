@@ -46,3 +46,6 @@ val register_server :
 val calls_completed : t -> int
 val requests_served : t -> int
 val duplicate_requests : t -> int
+
+val register_metrics : t -> Nectar_util.Metrics.t -> prefix:string -> unit
+(** Register the call/serve/duplicate counters as [<prefix>rpc.*]. *)

@@ -151,6 +151,9 @@ let daemon_body t c (dctx : Ctx.t) =
         else begin
           e.if_tries <- e.if_tries + 1;
           t.retx_count <- t.retx_count + 1;
+          Nectar_sim.Trace.instant
+            ~track:(Nectar_cab.Cab.name (Runtime.cab t.rt))
+            "rmp.retx";
           transmit t dctx c e
         end
   done
@@ -171,6 +174,9 @@ let deliver t ctx (msg : Message.t) ~dst_port =
   match Runtime.mailbox_at t.rt ~port:dst_port with
   | Some mbox ->
       t.delivered_count <- t.delivered_count + 1;
+      Nectar_sim.Trace.instant
+        ~track:(Nectar_cab.Cab.name (Runtime.cab t.rt))
+        "rmp.deliver";
       Mailbox.enqueue ctx msg mbox
   | None -> Mailbox.dispose ctx msg
 
@@ -386,7 +392,12 @@ let stop_and_wait_send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
         end;
         (* [Datalink.output] restores the message to this view after queueing
            the frame, so a retransmission simply sends the same message. *)
-        if tries > 0 then t.retx_count <- t.retx_count + 1;
+        if tries > 0 then begin
+          t.retx_count <- t.retx_count + 1;
+          Nectar_sim.Trace.instant
+            ~track:(Nectar_cab.Cab.name (Runtime.cab t.rt))
+            "rmp.retx"
+        end;
         incr queued;
         Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_rmp ~msg
           ~on_done:(fun ctx _ ->
@@ -438,8 +449,16 @@ let windowed_send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
 
 let send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
   Ctx.assert_may_block ctx "Rmp.send";
-  if t.window = 1 then stop_and_wait_send ctx t ~dst_cab ~dst_port msg
-  else windowed_send ctx t ~dst_cab ~dst_port msg
+  let tid =
+    Nectar_sim.Trace.span_begin
+      ~track:(Nectar_cab.Cab.name (Runtime.cab t.rt))
+      "rmp.send"
+  in
+  Fun.protect
+    ~finally:(fun () -> Nectar_sim.Trace.span_end tid)
+    (fun () ->
+      if t.window = 1 then stop_and_wait_send ctx t ~dst_cab ~dst_port msg
+      else windowed_send ctx t ~dst_cab ~dst_port msg)
 
 let flush (ctx : Ctx.t) t ~dst_cab ~dst_port =
   Ctx.assert_may_block ctx "Rmp.flush";
@@ -466,3 +485,10 @@ let delivered t = t.delivered_count
 let duplicates t = t.dup_count
 let retransmits t = t.retx_count
 let failed_sends t = t.failed_count
+
+let register_metrics t reg ~prefix =
+  let c name read = Nectar_util.Metrics.counter reg (prefix ^ name) read in
+  c "rmp.delivered" (fun () -> delivered t);
+  c "rmp.duplicates" (fun () -> duplicates t);
+  c "rmp.retransmits" (fun () -> retransmits t);
+  c "rmp.failed_sends" (fun () -> failed_sends t)

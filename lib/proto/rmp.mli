@@ -77,3 +77,7 @@ val failed_sends : t -> int
 (** Messages abandoned by a windowed channel whose retry budget ran out.
     Always 0 at [window = 1] (the failure is raised at the blocked sender
     instead). *)
+
+val register_metrics : t -> Nectar_util.Metrics.t -> prefix:string -> unit
+(** Register delivered/duplicates/retransmits/failed_sends as
+    [<prefix>rmp.*]. *)

@@ -27,3 +27,27 @@ let create rt ?(tcp_checksum = true) ?(udp_checksum = true) ?mtu ?tcp_mss
 
 let node_id t = Nectar_core.Runtime.node_id t.rt
 let addr t = Ipv4.local_addr t.ip
+
+let register_metrics t reg =
+  let cab = Nectar_core.Runtime.cab t.rt in
+  let prefix = Nectar_cab.Cab.name cab ^ "." in
+  Datalink.register_metrics t.dl reg ~prefix;
+  Rmp.register_metrics t.rmp reg ~prefix;
+  Reqresp.register_metrics t.reqresp reg ~prefix;
+  Tcp.register_metrics t.tcp reg ~prefix;
+  Nectar_cab.Rx.register_metrics (Nectar_cab.Cab.rx cab) reg ~prefix;
+  let cpu = Nectar_cab.Cab.cpu cab in
+  Nectar_util.Metrics.gauge reg (prefix ^ "cpu.busy_us") (fun () ->
+      Nectar_sim.Sim_time.to_us (Nectar_sim.Cpu.busy_time cpu));
+  Nectar_util.Metrics.counter reg (prefix ^ "cpu.switches") (fun () ->
+      Nectar_sim.Cpu.switches cpu);
+  List.iter
+    (fun (oname, _) ->
+      Nectar_util.Metrics.gauge reg
+        (prefix ^ "cpu.owner." ^ oname ^ ".us")
+        (fun () ->
+          (* re-read the report so the gauge tracks the live served time *)
+          match List.assoc_opt oname (Nectar_sim.Cpu.owners_report cpu) with
+          | Some served -> Nectar_sim.Sim_time.to_us served
+          | None -> 0.))
+    (Nectar_sim.Cpu.owners_report cpu)

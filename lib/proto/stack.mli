@@ -32,3 +32,7 @@ val create :
 
 val node_id : t -> int
 val addr : t -> Ipv4.addr
+
+val register_metrics : t -> Nectar_util.Metrics.t -> unit
+(** Register this node's datalink/RMP/rpc/TCP/Rx counters and CPU gauges
+    into the registry, prefixed with the CAB's name. *)

@@ -172,6 +172,7 @@ let emit (ctx : Ctx.t) c ~flags ~seq ~payload_n =
     Message.set_u16 msg 16 (if ck = 0 then 0xffff else ck)
   end;
   t.seg_out <- t.seg_out + 1;
+  Nectar_sim.Trace.instant ~track:t.owner "tcp.seg-out";
   Ipv4.output ctx t.ip ~dst:c.raddr ~proto:Ipv4.proto_tcp msg
 
 let now c = Engine.now (Runtime.engine c.tcp.rt)
@@ -410,6 +411,7 @@ let send_rst ctx t ~dst ~sport ~dport ~seq ~ack_theirs =
     Message.set_u16 msg 16 (if ck = 0 then 0xffff else ck)
   end;
   t.seg_out <- t.seg_out + 1;
+  Nectar_sim.Trace.instant ~track:t.owner "tcp.seg-out";
   Ipv4.output ctx t.ip ~dst ~proto:Ipv4.proto_tcp msg
 
 let process_ack c ~ack ~wnd =
@@ -538,6 +540,7 @@ let process_segment_locked ctx c ~msg ~seg_len ~seq ~ack ~data_off ~flags
 let process_segment (ctx : Ctx.t) t msg =
   ctx.work Costs.tcp_input_ns;
   t.seg_in <- t.seg_in + 1;
+  Nectar_sim.Trace.instant ~track:t.owner "tcp.seg-in";
   match parse_segment msg with
   | None -> Mailbox.dispose ctx msg
   | Some (h, seg_len, sport, dport, seq, ack, data_off, flags, wnd) ->
@@ -643,6 +646,7 @@ let timer_thread t (ctx : Ctx.t) =
                       (Seq.mask (c.snd_una - c.iss))
                       (Seq.mask (c.snd_nxt - c.iss)) c.snd_wnd c.sb_len;
                   t.retx <- t.retx + 1;
+                  Nectar_sim.Trace.instant ~track:t.owner "tcp.retx";
                   c.rto <- Int.min max_rto (c.rto * 2);
                   c.rtt_sample <- None;
                   c.rtx_deadline <- Some (Engine.now (Runtime.engine t.rt) + c.rto);
@@ -881,6 +885,12 @@ let remote c = (c.raddr, c.rport)
 let segments_in t = t.seg_in
 let segments_out t = t.seg_out
 let retransmissions t = t.retx
+
+let register_metrics t reg ~prefix =
+  let c name read = Nectar_util.Metrics.counter reg (prefix ^ name) read in
+  c "tcp.segments_in" (fun () -> segments_in t);
+  c "tcp.segments_out" (fun () -> segments_out t);
+  c "tcp.retransmissions" (fun () -> retransmissions t)
 let bad_checksums t = t.bad_cksum
 let send_request_mailbox t = t.send_req
 let conn_by_id t id = Hashtbl.find_opt t.by_id id

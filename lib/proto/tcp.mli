@@ -89,3 +89,6 @@ val conn_id : conn -> int
 
 val debug : bool ref
 (** Temporary tracing for bench calibration. *)
+
+val register_metrics : t -> Nectar_util.Metrics.t -> prefix:string -> unit
+(** Register segment/retransmission counters as [<prefix>tcp.*]. *)

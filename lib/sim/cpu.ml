@@ -14,6 +14,7 @@ type request = {
   mutable queued_at : Sim_time.t; (* last time it entered the ready queue *)
   resume : unit -> unit;
   seq : int;
+  mutable trace_id : int; (* open Trace span while dispatched; 0 = none *)
 }
 
 type t = {
@@ -81,6 +82,7 @@ and start t req =
     (* transparent owners leave [last_owner] alone: the interrupted
        context resumes without paying its switch-in again *)
   end;
+  req.trace_id <- Trace.span_begin ~track:t.cname req.req_owner.oname;
   let timer = Engine.after t.eng req.remaining (fun () -> complete t req) in
   t.current <- Some (req, now, timer)
 
@@ -90,6 +92,8 @@ and complete t req =
       let elapsed = Engine.now t.eng - started in
       t.busy <- t.busy + elapsed;
       req.req_owner.served <- req.req_owner.served + elapsed;
+      Trace.span_end req.trace_id;
+      req.trace_id <- 0;
       t.current <- None
   | _ -> invalid_arg "Cpu.complete: not current");
   req.resume ();
@@ -104,6 +108,8 @@ let maybe_preempt t incoming =
         let elapsed = Engine.now t.eng - started in
         t.busy <- t.busy + elapsed;
         cur.req_owner.served <- cur.req_owner.served + elapsed;
+        Trace.span_end cur.trace_id;
+        cur.trace_id <- 0;
         cur.remaining <- cur.remaining - elapsed;
         (* Guard against a zero-length residue when preempted exactly at
            completion time (the completion event fires separately). *)
@@ -129,6 +135,7 @@ let consume t owner ~priority ?(atomic = false) span =
             queued_at = Engine.now t.eng;
             resume;
             seq = t.next_seq;
+            trace_id = 0;
           }
         in
         t.next_seq <- t.next_seq + 1;

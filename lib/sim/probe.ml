@@ -14,14 +14,28 @@ let mark t label =
 let clear t = t.entries <- []
 let marks t = List.rev t.entries
 
-let find t label =
-  let rec search = function
-    | [] -> None
-    | (time, l) :: rest -> if l = label then Some time else search rest
-  in
-  search (marks t)
+let occurrences t label =
+  List.filter_map
+    (fun (time, l) -> if l = label then Some time else None)
+    (marks t)
 
-let span t a b =
-  match (find t a, find t b) with
+let count t label = List.length (occurrences t label)
+
+let find ?(occurrence = 0) t label =
+  if occurrence < 0 then invalid_arg "Probe.find: negative occurrence";
+  List.nth_opt (occurrences t label) occurrence
+
+let span ?occurrence t a b =
+  match (find ?occurrence t a, find ?occurrence t b) with
   | Some ta, Some tb -> Some (tb - ta)
   | _ -> None
+
+let spans t a b =
+  (* pair the i-th occurrence of [a] with the i-th of [b]: per-iteration
+     extraction for benches that mark the same labels every round *)
+  let rec zip xs ys =
+    match (xs, ys) with
+    | ta :: xs', tb :: ys' -> (tb - ta) :: zip xs' ys'
+    | _ -> []
+  in
+  zip (occurrences t a) (occurrences t b)

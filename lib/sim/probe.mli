@@ -14,8 +14,21 @@ val clear : t -> unit
 val marks : t -> (Sim_time.t * string) list
 (** In recording order. *)
 
-val find : t -> string -> Sim_time.t option
-(** Time of the first mark with this label. *)
+val occurrences : t -> string -> Sim_time.t list
+(** Times of every mark with this label, in recording order. *)
 
-val span : t -> string -> string -> Sim_time.span option
-(** Time from the first occurrence of one label to the first of another. *)
+val count : t -> string -> int
+
+val find : ?occurrence:int -> t -> string -> Sim_time.t option
+(** Time of the [occurrence]-th mark (0-based, default the first) with
+    this label.  [None] if the label occurred fewer times than that.
+    @raise Invalid_argument on a negative [occurrence]. *)
+
+val span : ?occurrence:int -> t -> string -> string -> Sim_time.span option
+(** Time between the [occurrence]-th mark of one label and the
+    [occurrence]-th of another (default: first of each). *)
+
+val spans : t -> string -> string -> Sim_time.span list
+(** Per-iteration spans: the i-th occurrence of the first label paired
+    with the i-th of the second, stopping at the shorter list — so a
+    multi-round bench measures every round, not just round 1. *)

@@ -12,7 +12,11 @@ module Summary = struct
   type t = {
     mutable n : int;
     mutable sum : float;
-    mutable sumsq : float;
+    (* Welford running state: the textbook sumsq/n - mean^2 formula
+       cancels catastrophically for large-offset samples (1e9 + {0,1,2}
+       returns 0 or NaN); mean_/m2 stay accurate at any offset. *)
+    mutable mean_ : float;
+    mutable m2 : float;
     mutable mn : float;
     mutable mx : float;
     keep : bool;
@@ -23,7 +27,8 @@ module Summary = struct
     {
       n = 0;
       sum = 0.;
-      sumsq = 0.;
+      mean_ = 0.;
+      m2 = 0.;
       mn = infinity;
       mx = neg_infinity;
       keep = keep_samples;
@@ -33,28 +38,34 @@ module Summary = struct
   let add t x =
     t.n <- t.n + 1;
     t.sum <- t.sum +. x;
-    t.sumsq <- t.sumsq +. (x *. x);
+    let d = x -. t.mean_ in
+    t.mean_ <- t.mean_ +. (d /. float_of_int t.n);
+    t.m2 <- t.m2 +. (d *. (x -. t.mean_));
     if x < t.mn then t.mn <- x;
     if x > t.mx then t.mx <- x;
     if t.keep then t.samples <- x :: t.samples
 
   let count t = t.n
   let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
-  let min t = t.mn
-  let max t = t.mx
+
+  let min t =
+    if t.n = 0 then invalid_arg "Summary.min: empty";
+    t.mn
+
+  let max t =
+    if t.n = 0 then invalid_arg "Summary.max: empty";
+    t.mx
 
   let stddev t =
-    if t.n < 2 then 0.
-    else
-      let m = mean t in
-      let var = (t.sumsq /. float_of_int t.n) -. (m *. m) in
-      sqrt (Float.max 0. var)
+    if t.n < 2 then 0. else sqrt (Float.max 0. (t.m2 /. float_of_int t.n))
 
   let percentile t p =
     if not t.keep then invalid_arg "Summary.percentile: samples not kept";
     if t.samples = [] then invalid_arg "Summary.percentile: empty";
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg "Summary.percentile: p outside [0,1]";
     let a = Array.of_list t.samples in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let idx = p *. float_of_int (Array.length a - 1) in
     let lo = int_of_float (floor idx) and hi = int_of_float (ceil idx) in
     let frac = idx -. floor idx in
@@ -63,7 +74,8 @@ module Summary = struct
   let reset t =
     t.n <- 0;
     t.sum <- 0.;
-    t.sumsq <- 0.;
+    t.mean_ <- 0.;
+    t.m2 <- 0.;
     t.mn <- infinity;
     t.mx <- neg_infinity;
     t.samples <- []

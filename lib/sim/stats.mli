@@ -19,12 +19,20 @@ module Summary : sig
   val add : t -> float -> unit
   val count : t -> int
   val mean : t -> float
+
   val min : t -> float
+  (** @raise Invalid_argument on an empty summary. *)
+
   val max : t -> float
+  (** @raise Invalid_argument on an empty summary. *)
+
   val stddev : t -> float
+  (** Population standard deviation, computed with Welford's online
+      algorithm so large-offset samples don't cancel. *)
 
   val percentile : t -> float -> float
-  (** [percentile t 0.99]; requires [keep_samples]. *)
+  (** [percentile t 0.99]; requires [keep_samples].
+      @raise Invalid_argument if empty or [p] is outside [\[0,1\]]. *)
 
   val reset : t -> unit
 end

@@ -1,0 +1,84 @@
+(** Causal span tracing: an always-compiled, zero-cost-when-disabled
+    record of what every layer of the system is doing and when.
+
+    Layers call {!span_begin}/{!span_end} (nestable, matched by id) and
+    {!instant} unconditionally; with no tracer installed each call is a
+    single ref read and allocates nothing, so the hot paths stay clean.
+    With a tracer installed, events land in a preallocated ring — when it
+    fills, the oldest events are overwritten and counted in {!dropped}.
+
+    Recording never touches the simulation clock (no [work], no sleeps),
+    so enabling a tracer cannot change any simulated result: the fig6
+    bench regenerates the paper's latency breakdown from these spans
+    byte-identically.
+
+    The [track] of an event names the hardware context it happened on
+    (a CPU, an interrupt controller, a bus, the wire); the Chrome
+    trace-event export maps tracks to threads. *)
+
+type t
+
+type kind = Span_begin | Span_end | Instant
+
+type event = {
+  time : Sim_time.t;
+  kind : kind;
+  id : int;  (** span id; 0 for instants *)
+  label : string;  (** [""] on [Span_end] (matched to the begin by id) *)
+  track : string;  (** [""] on [Span_end] *)
+}
+
+val create : ?capacity:int -> Engine.t -> t
+(** [capacity] is the ring size in events (default 65536). *)
+
+(** {1 Installing}
+
+    One tracer is active at a time, process-wide (like the vet hooks). *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val installed : unit -> bool
+
+(** {1 Recording} — module-level so instrumented layers need no handle.
+    No-ops (and allocation-free) when no tracer is installed. *)
+
+val span_begin : track:string -> string -> int
+(** Returns the span id to pass to {!span_end}; 0 when disabled. *)
+
+val span_end : int -> unit
+(** Ends the span; ids [<= 0] are ignored. *)
+
+val instant : track:string -> string -> unit
+
+(** {1 Reading} *)
+
+val events : t -> event list
+(** Surviving events, oldest first. *)
+
+val recorded : t -> int
+(** Total events ever recorded, including since-dropped ones. *)
+
+val dropped : t -> int
+(** Events overwritten by ring wrap-around. *)
+
+val clear : t -> unit
+
+val occurrences : t -> string -> Sim_time.t list
+(** Times of every surviving [Span_begin]/[Instant] with this label, in
+    recording order — the per-iteration lookup a multi-round bench needs. *)
+
+type span = {
+  s_label : string;
+  s_track : string;
+  s_begin : Sim_time.t;
+  s_end : Sim_time.t;
+}
+
+val spans : t -> span list
+(** Matched begin/end pairs in begin order.  Spans whose begin was
+    dropped by ring overflow, or that never ended (e.g. server threads
+    alive at quiescence), are omitted. *)
+
+val rollup : t -> (string * int * Sim_time.span) list
+(** Per-label [(label, count, total span time)] over {!spans}, sorted by
+    total descending — the text flamegraph-style per-stage view. *)

@@ -51,6 +51,14 @@ let report () =
       | ops, total -> Some (site_name s, ops, total))
     all_sites
 
+let register_metrics reg ~prefix =
+  List.iter
+    (fun s ->
+      let base = prefix ^ "copy." ^ site_name s in
+      Metrics.counter reg (base ^ ".ops") (fun () -> copies ~site:s ());
+      Metrics.counter reg (base ^ ".bytes") (fun () -> bytes_copied ~site:s ()))
+    all_sites
+
 let report_owners () =
   let owners =
     Hashtbl.fold (fun (_, o) _ acc -> if List.mem o acc then acc else o :: acc)

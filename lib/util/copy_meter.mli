@@ -41,3 +41,6 @@ val report : unit -> (string * int * int) list
 
 val report_owners : unit -> (string * int * int) list
 (** Per-owner [(owner, copies, bytes)] totals, sorted by owner name. *)
+
+val register_metrics : Metrics.t -> prefix:string -> unit
+(** Register per-site ops/bytes counters as [<prefix>copy.<site>.{ops,bytes}]. *)

@@ -1,0 +1,85 @@
+type value =
+  | Count of int
+  | Gauge of float
+  | Hist of { n : int; mean : float; stddev : float; min : float; max : float }
+
+(* Welford state for owned histograms (same recurrence as Stats.Summary,
+   which lives above this library in the dependency chain). *)
+type hist_state = {
+  mutable hn : int;
+  mutable hmean : float;
+  mutable hm2 : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type entry =
+  | Counter_thunk of (unit -> int)
+  | Gauge_thunk of (unit -> float)
+  | Histogram of hist_state
+
+type t = { entries : (string, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 64 }
+
+let register t name entry =
+  if Hashtbl.mem t.entries name then
+    invalid_arg (Printf.sprintf "Metrics: %S already registered" name);
+  Hashtbl.replace t.entries name entry
+
+let counter t name read = register t name (Counter_thunk read)
+let gauge t name read = register t name (Gauge_thunk read)
+
+let histogram t name =
+  register t name
+    (Histogram { hn = 0; hmean = 0.; hm2 = 0.; hmin = infinity; hmax = neg_infinity })
+
+let observe t name x =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Histogram h) ->
+      h.hn <- h.hn + 1;
+      let d = x -. h.hmean in
+      h.hmean <- h.hmean +. (d /. float_of_int h.hn);
+      h.hm2 <- h.hm2 +. (d *. (x -. h.hmean));
+      if x < h.hmin then h.hmin <- x;
+      if x > h.hmax then h.hmax <- x
+  | Some _ | None ->
+      invalid_arg (Printf.sprintf "Metrics.observe: %S is not a histogram" name)
+
+let read = function
+  | Counter_thunk f -> Count (f ())
+  | Gauge_thunk f -> Gauge (f ())
+  | Histogram h ->
+      let stddev =
+        if h.hn < 2 then 0. else sqrt (Float.max 0. (h.hm2 /. float_of_int h.hn))
+      in
+      Hist
+        {
+          n = h.hn;
+          mean = (if h.hn = 0 then 0. else h.hmean);
+          stddev;
+          min = h.hmin;
+          max = h.hmax;
+        }
+
+let snapshot t =
+  Hashtbl.fold (fun name e acc -> (name, read e) :: acc) t.entries []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let dump ?(out = stdout) t =
+  let snap = snapshot t in
+  let width =
+    List.fold_left (fun w (name, _) -> Stdlib.max w (String.length name)) 0 snap
+  in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Count n -> Printf.fprintf out "  %-*s %d\n" width name n
+      | Gauge g -> Printf.fprintf out "  %-*s %.3f\n" width name g
+      | Hist h ->
+          if h.n = 0 then Printf.fprintf out "  %-*s n=0\n" width name
+          else
+            Printf.fprintf out
+              "  %-*s n=%d mean=%.1f stddev=%.1f min=%.1f max=%.1f\n" width
+              name h.n h.mean h.stddev h.min h.max)
+    snap

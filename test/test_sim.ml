@@ -382,6 +382,45 @@ let test_summary () =
   Alcotest.(check (float 1e-9)) "max" 4. (Stats.Summary.max s);
   Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.Summary.percentile s 0.5)
 
+let test_summary_welford_offset () =
+  (* naive sum-of-squares cancels catastrophically at this offset; Welford
+     must still see the {0, 1, 2} spread around 1e9 *)
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1e9; 1e9 +. 1.; 1e9 +. 2. ];
+  Alcotest.(check (float 1e-9)) "mean" (1e9 +. 1.) (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-6))
+    "stddev sqrt(2/3)"
+    (sqrt (2. /. 3.))
+    (Stats.Summary.stddev s)
+
+let test_summary_percentile_edges () =
+  let s = Stats.Summary.create ~keep_samples:true () in
+  Stats.Summary.add s 7.;
+  Alcotest.(check (float 1e-9)) "p=0 of one sample" 7.
+    (Stats.Summary.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p=1 of one sample" 7.
+    (Stats.Summary.percentile s 1.);
+  List.iter (Stats.Summary.add s) [ 3.; 5.; 1. ];
+  Alcotest.(check (float 1e-9)) "p=0 is min" 1.
+    (Stats.Summary.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p=1 is max" 7.
+    (Stats.Summary.percentile s 1.);
+  Alcotest.check_raises "p>1 rejected"
+    (Invalid_argument "Summary.percentile: p outside [0,1]") (fun () ->
+      ignore (Stats.Summary.percentile s 1.5));
+  Alcotest.check_raises "p<0 rejected"
+    (Invalid_argument "Summary.percentile: p outside [0,1]") (fun () ->
+      ignore (Stats.Summary.percentile s (-0.1)))
+
+let test_summary_empty_min_max () =
+  let s = Stats.Summary.create () in
+  Alcotest.check_raises "empty min raises"
+    (Invalid_argument "Summary.min: empty") (fun () ->
+      ignore (Stats.Summary.min s));
+  Alcotest.check_raises "empty max raises"
+    (Invalid_argument "Summary.max: empty") (fun () ->
+      ignore (Stats.Summary.max s))
+
 let test_throughput () =
   Alcotest.(check (float 1e-6))
     "100 Mbit/s" 100.
@@ -418,6 +457,33 @@ let test_probe () =
   Engine.run eng;
   Alcotest.(check (option int)) "disabled records nothing" None
     (Probe.find p "late")
+
+let test_probe_occurrences () =
+  let eng = Engine.create () in
+  let p = Probe.create eng in
+  Probe.enable p;
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        Probe.mark p "a";
+        Engine.sleep eng (us 5);
+        Probe.mark p "b";
+        Engine.sleep eng (us 15)
+      done);
+  Engine.run eng;
+  check_int "count" 3 (Probe.count p "a");
+  Alcotest.(check (list int))
+    "occurrences" [ 0; us 20; us 40 ] (Probe.occurrences p "a");
+  Alcotest.(check (option int)) "find second" (Some (us 25))
+    (Probe.find ~occurrence:1 p "b");
+  Alcotest.(check (option int)) "find past end" None
+    (Probe.find ~occurrence:3 p "b");
+  Alcotest.(check (option int)) "span of round 2" (Some (us 5))
+    (Probe.span ~occurrence:2 p "a" "b");
+  Alcotest.(check (list int))
+    "per-iteration spans" [ us 5; us 5; us 5 ] (Probe.spans p "a" "b");
+  Alcotest.check_raises "negative occurrence rejected"
+    (Invalid_argument "Probe.find: negative occurrence") (fun () ->
+      ignore (Probe.find ~occurrence:(-1) p "a"))
 
 let qtest = QCheck_alcotest.to_alcotest
 
@@ -476,9 +542,16 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "summary welford offset" `Quick
+            test_summary_welford_offset;
+          Alcotest.test_case "summary percentile edges" `Quick
+            test_summary_percentile_edges;
+          Alcotest.test_case "summary empty min/max" `Quick
+            test_summary_empty_min_max;
           Alcotest.test_case "throughput" `Quick test_throughput;
           Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
           Alcotest.test_case "probe" `Quick test_probe;
+          Alcotest.test_case "probe occurrences" `Quick test_probe_occurrences;
         ] );
     ]
