@@ -709,6 +709,113 @@ let run_trace out check iterations =
         exit 1
   end
 
+(* ---------- check ---------- *)
+
+module Explore = Nectar_check.Explore
+module Schedule = Nectar_check.Schedule
+module Isolation = Nectar_check.Isolation
+module Check_scenarios = Nectar_check.Scenarios
+
+let print_counterexample (cx : Explore.counterexample) =
+  Printf.printf "  counterexample schedule: [%s]\n"
+    (Schedule.to_string cx.cx_schedule);
+  List.iter
+    (fun st -> Printf.printf "    %s\n" (Schedule.step_to_string st))
+    cx.cx_steps;
+  List.iter (fun v -> Printf.printf "    violation: %s\n" v) cx.cx_violations
+
+let run_check smoke only verbose =
+  let failed = ref [] in
+  let fail name fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "  FAIL: %s\n" m;
+        failed := name :: !failed)
+      fmt
+  in
+  let scenarios, audits =
+    match only with
+    | None -> (Check_scenarios.all, Check_scenarios.audits)
+    | Some n -> (
+        match (Check_scenarios.find n, Check_scenarios.find_audit n) with
+        | Some s, _ -> ([ s ], [])
+        | None, Some a -> ([], [ a ])
+        | None, None ->
+            Printf.printf "check: unknown scenario %s (known: %s)\n" n
+              (String.concat ", "
+                 (List.map (fun (s : Explore.scenario) -> s.name)
+                    Check_scenarios.all
+                 @ List.map
+                     (fun (a : Check_scenarios.audit_case) -> a.a_name)
+                     Check_scenarios.audits));
+            exit 2)
+  in
+  List.iter
+    (fun (s : Explore.scenario) ->
+      Printf.printf "=== check: %s ===\n%!" s.name;
+      Printf.printf "  %s\n" s.descr;
+      (* the default-order run must be clean even for seeded bugs: the
+         point of the explorer is catching what a single run cannot *)
+      let default_run = Explore.run_one s [||] in
+      if default_run.violations <> [] then
+        fail s.name "default-order run violated: %s"
+          (String.concat "; " default_run.violations);
+      let budget = if smoke then min 150 s.budget else s.budget in
+      let o = Explore.explore ~max_runs:budget s in
+      let st = o.stats in
+      Printf.printf
+        "  %d runs, %d choice points, %d distinct states, %d pruned, deepest \
+         %d%s\n"
+        st.runs st.choice_points st.distinct_states st.pruned st.deepest
+        (if st.budget_exhausted then " (budget exhausted)" else "");
+      (match (s.expect_bug, o.counterexamples) with
+      | true, [] -> fail s.name "seeded bug not found by exploration"
+      | true, cx :: _ ->
+          Printf.printf "  seeded bug found (default order clean):\n";
+          print_counterexample cx;
+          let r = Explore.replay s cx.cx_schedule in
+          if r.violations = [] then
+            fail s.name "counterexample did not reproduce on replay"
+          else
+            Printf.printf "  replay reproduces: %s\n" (List.hd r.violations)
+      | false, [] -> Printf.printf "  clean in every explored interleaving\n"
+      | false, cx :: _ ->
+          print_counterexample cx;
+          fail s.name "%d counterexample(s) in a scenario expected clean"
+            (List.length o.counterexamples));
+      if verbose && s.expect_bug then begin
+        Printf.printf "  default-order decisions:\n";
+        List.iter
+          (fun st -> Printf.printf "    %s\n" (Schedule.step_to_string st))
+          default_run.steps
+      end;
+      Printf.printf "\n%!")
+    scenarios;
+  List.iter
+    (fun (a : Check_scenarios.audit_case) ->
+      Printf.printf "=== isolation: %s ===\n%!" a.a_name;
+      Printf.printf "  %s\n" a.a_descr;
+      let r = a.a_run () in
+      if verbose || not (Isolation.clean r) then
+        Printf.printf "%s" (Format.asprintf "%a" Isolation.pp_report r)
+      else
+        Printf.printf "  scanned %d blocks, %d boundary hits, clean\n"
+          r.Isolation.blocks_scanned r.Isolation.boundary_hits;
+      (match (a.a_expect_shared, Isolation.clean r) with
+      | true, true -> fail a.a_name "planted alias not reported"
+      | true, false -> Printf.printf "  planted alias reported, as expected\n"
+      | false, true -> ()
+      | false, false -> fail a.a_name "unexpected cross-node sharing");
+      Printf.printf "\n%!")
+    audits;
+  match List.rev !failed with
+  | [] ->
+      Printf.printf "check: all %d scenario(s) and %d audit(s) pass\n"
+        (List.length scenarios) (List.length audits)
+  | bad ->
+      Printf.printf "check: FAILED: %s\n" (String.concat ", " bad);
+      exit 1
+
 (* ---------- cmdliner wiring ---------- *)
 
 open Cmdliner
@@ -809,6 +916,33 @@ let trace_cmd =
           trace-event JSON export")
     Term.(const run_trace $ out $ check $ iterations)
 
+let check_cmd =
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Reduced per-scenario exploration budget (CI gate).")
+  in
+  let only =
+    Arg.(value & opt (some string) None
+         & info [ "scenario" ]
+             ~doc:"Run a single named scenario or isolation audit.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ]
+             ~doc:"Print full audit reports and default-order decision \
+                   traces.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check the same-time interleavings of the scenario suite \
+          (every ordering of equal-timestamp events, with state-fingerprint \
+          pruning; seeded bugs must be caught with a replayable \
+          counterexample) and audit heap-level node isolation for the \
+          planned domains refactor; exit nonzero on any failure")
+    Term.(const run_check $ smoke $ only $ verbose)
+
 let () =
   let doc = "Nectar communication processor simulation scenarios" in
   exit
@@ -816,5 +950,5 @@ let () =
        (Cmd.group (Cmd.info "nectar-cli" ~doc)
           [
             ping_cmd; latency_cmd; throughput_cmd; info_cmd; vet_cmd;
-            chaos_cmd; trace_cmd;
+            chaos_cmd; trace_cmd; check_cmd;
           ]))

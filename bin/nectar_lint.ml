@@ -4,6 +4,18 @@
 
    Rules:
    - no Obj.magic anywhere;
+   - no other Obj.* use in lib/ outside lib/check (the isolation auditor
+     is the one sanctioned heap spelunker);
+   - no polymorphic compare in the lib/sim and lib/core hot paths: bare
+     [compare], Stdlib.compare and Hashtbl.hash* are flagged in .ml files
+     there (use Int.compare / String.compare / a monomorphic hash; [=] on
+     immediates cannot be told apart lexically from [=] on structures, so
+     it stays a review concern).  A doc reference written "[compare]" is
+     not flagged;
+   - no stdout printing in lib/ (Printf.printf, Format.printf,
+     print_string/endline/newline) except in modules whose name contains
+     "debug" or "dump" — libraries report through Metrics/Probe/return
+     values, not the terminal;
    - no ignored Message.t values (an ignored message is a leaked buffer);
    - no bare failwith in lib/core or lib/proto (raise a typed exception
      such as Buffer_heap.Corrupt, or use invalid_arg for caller errors);
@@ -29,12 +41,47 @@ let has_prefix prefix s =
 
 (* built in two halves so a self-run stays clean *)
 let pat_obj_magic = "Obj." ^ "magic"
+let pat_obj = "Ob" ^ "j."
 let pat_ignore = "ign" ^ "ore"
 let pat_msg_t = ": Message" ^ ".t"
 let pat_failwith = "fail" ^ "with"
+let pat_compare = "comp" ^ "are"
+let pat_stdlib_compare = "Stdlib." ^ pat_compare
+let pat_hashtbl_hash = "Hashtbl." ^ "hash"
+
+let pat_stdout_printers =
+  [
+    "Printf." ^ "printf";
+    "Format." ^ "printf";
+    "print_" ^ "string";
+    "print_" ^ "endline";
+    "print_" ^ "newline";
+  ]
 
 let no_failwith_dirs = [ "lib/core"; "lib/proto" ]
+let no_poly_compare_dirs = [ "lib/sim"; "lib/core" ]
+let obj_allowed_dir = "lib/check"
 let mli_required_dir = "lib"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* [word] appearing with identifier boundaries, not module-qualified
+   ("X.word" is some module's own function) and not a "[word]" doc
+   reference. *)
+let contains_bare_word line word =
+  let nl = String.length line and nw = String.length word in
+  let ok_at i =
+    (i = 0 || (line.[i - 1] <> '.' && line.[i - 1] <> '[' && not (is_ident_char line.[i - 1])))
+    && (i + nw >= nl || not (is_ident_char line.[i + nw]))
+  in
+  let rec at i =
+    i + nw <= nl && ((String.sub line i nw = word && ok_at i) || at (i + 1))
+  in
+  nw > 0 && at 0
 
 let read_lines path =
   let ic = open_in_bin path in
@@ -51,11 +98,50 @@ let check_source path =
   let failwith_banned =
     List.exists (fun d -> has_prefix (d ^ "/") path) no_failwith_dirs
   in
+  let obj_banned =
+    has_prefix (mli_required_dir ^ "/") path
+    && not (has_prefix (obj_allowed_dir ^ "/") path)
+  in
+  let poly_banned =
+    Filename.check_suffix path ".ml"
+    && List.exists (fun d -> has_prefix (d ^ "/") path) no_poly_compare_dirs
+  in
+  let base = Filename.basename path in
+  let stdout_banned =
+    has_prefix (mli_required_dir ^ "/") path
+    && not (contains base "debug" || contains base "dump")
+  in
   List.iteri
     (fun i line ->
       let ln = i + 1 in
       if contains line pat_obj_magic then
         flag path ln (pat_obj_magic ^ " defeats the type system");
+      if obj_banned && contains line pat_obj then
+        flag path ln
+          (pat_obj ^ "* outside " ^ obj_allowed_dir
+         ^ ": only the isolation auditor may walk the heap");
+      if poly_banned then begin
+        if
+          contains line pat_stdlib_compare
+          || contains_bare_word line pat_compare
+        then
+          flag path ln
+            ("polymorphic " ^ pat_compare
+           ^ " in a hot path: use Int.compare/String.compare");
+        if contains line pat_hashtbl_hash then
+          flag path ln
+            (pat_hashtbl_hash
+           ^ " in a hot path: polymorphic hashing; use a monomorphic hash")
+      end;
+      if stdout_banned then
+        List.iter
+          (fun pat ->
+            if contains line pat then
+              flag path ln
+                (pat
+               ^ " in a library: report through Metrics/Probe, or move the \
+                  printer to a *debug*/*dump* module"))
+          pat_stdout_printers;
       if contains line pat_ignore && contains line pat_msg_t then
         flag path ln
           ("ignored Message" ^ ".t: an unreleased message leaks its buffer");

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Full local CI: build everything, run the test suite, then the
 # correctness gate (nectar-lint + every scenario under nectar-vet),
-# then the seeded chaos campaigns, the perf-harness smoke (its
+# then the seeded chaos campaigns, the model-checking gate (schedule
+# explorer over the seeded-bug suite plus the node-isolation audit),
+# the perf-harness smoke (its
 # assertions are deterministic delivery/batch counts, exact zero-copy
 # byte counters, and the recorded BENCH_perf.json throughputs with
 # tracing compiled in but disabled — wall-clock numbers are never
@@ -13,5 +15,6 @@ dune build @all
 dune runtest
 dune build @vet
 dune build @chaos
+dune build @check
 dune exec bench/main.exe -- perf-smoke
 dune exec bin/nectar_cli.exe -- trace --check --out /tmp/nectar_trace_ci.json

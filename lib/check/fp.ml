@@ -1,0 +1,39 @@
+type t = { mutable h : int64 }
+
+let create () = { h = 0x243f6a8885a308d3L (* pi, nothing-up-my-sleeve *) }
+
+(* splitmix64 finalizer: full avalanche per absorbed word. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let absorb t w =
+  t.h <- mix64 (Int64.add (Int64.mul t.h 0x9e3779b97f4a7c15L) w)
+
+let int t x = absorb t (Int64.of_int x)
+let bool t b = int t (if b then 1 else 0)
+
+let string t s =
+  int t (String.length s);
+  (* absorb 8 chars per word *)
+  let acc = ref 0L and n = ref 0 in
+  String.iter
+    (fun c ->
+      acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code c));
+      incr n;
+      if !n = 8 then begin
+        absorb t !acc;
+        acc := 0L;
+        n := 0
+      end)
+    s;
+  if !n > 0 then absorb t !acc
+
+let list t proj l =
+  int t (List.length l);
+  List.iter (fun x -> int t (proj x)) l
+
+let get t = Int64.to_int t.h land max_int

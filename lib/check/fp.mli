@@ -1,0 +1,23 @@
+(** Incremental state fingerprints for the schedule explorer.
+
+    A fingerprint folds a scenario's observable state — clock, pending
+    events, protocol counters, payload bytes — into one int with a
+    splitmix64-style mixer.  Two runs that reach the same semantic state
+    through commuting reorderings should feed the same sequence here and
+    collide, which is what lets the explorer prune; an accidental collision
+    between genuinely different states is possible (hash compaction) and
+    documented as such in DESIGN.md §6.6. *)
+
+type t
+
+val create : unit -> t
+
+val int : t -> int -> unit
+val bool : t -> bool -> unit
+val string : t -> string -> unit
+
+val list : t -> ('a -> int) -> 'a list -> unit
+(** Folds length and each element's projection, order-sensitively. *)
+
+val get : t -> int
+(** Non-negative digest of everything fed so far. *)

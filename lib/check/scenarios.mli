@@ -1,0 +1,35 @@
+(** The checked-in scenario suite for [nectar_cli check] and the tests.
+
+    {1 Explorer scenarios}
+
+    Three seeded-bug micro scenarios (each with a fixed twin) reproduce
+    classic ordering bugs at engine level — a publish/signal reorder, a
+    lost wakeup across a blocking boundary, and a retransmit-timer vs ack
+    race.  Each bug is constructed so the {e default} creation-order
+    schedule masks it: a single run passes, and only the explorer's
+    reordering of same-time events produces the violation.  Three
+    full-runtime scenarios (mailbox put/get under an interrupt producer,
+    RMP retransmission across a dropped frame, a TCP handshake) assert
+    exactly-once delivery, ordering, termination and vet cleanliness in
+    every explored interleaving.
+
+    {1 Isolation-audit cases}
+
+    The 2-node datagram world must audit clean behind the documented
+    boundary whitelist (engine + network, literal strings up to 64 bytes
+    exempt as compiler-interned constants); the two planted cases — a
+    mutable ref captured by upcalls on both nodes, and node b holding
+    node a's CAB memory — must be reported. *)
+
+val all : Explore.scenario list
+val find : string -> Explore.scenario option
+
+type audit_case = {
+  a_name : string;
+  a_descr : string;
+  a_expect_shared : bool;  (** planted alias: the audit must NOT be clean *)
+  a_run : unit -> Isolation.report;
+}
+
+val audits : audit_case list
+val find_audit : string -> audit_case option

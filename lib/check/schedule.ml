@@ -1,0 +1,31 @@
+type t = int list
+
+let to_string s = String.concat "." (List.map string_of_int s)
+
+let of_string str =
+  if str = "" then []
+  else
+    String.split_on_char '.' str
+    |> List.map (fun part ->
+           match int_of_string_opt part with
+           | Some n when n >= 0 -> n
+           | _ -> invalid_arg ("Schedule.of_string: " ^ str))
+
+type step = {
+  depth : int;
+  time : Nectar_sim.Sim_time.t;
+  arity : int;
+  chosen : int;
+  labels : string array;
+  state : int;
+}
+
+let step_to_string s =
+  let cand i l =
+    let l = if l = "" then "?" else l in
+    if i = s.chosen then l ^ "*" else l
+  in
+  Printf.sprintf "#%d t=%s pick %d/%d: %s" s.depth
+    (Nectar_sim.Sim_time.to_string s.time)
+    s.chosen s.arity
+    (String.concat " | " (Array.to_list (Array.mapi cand s.labels)))

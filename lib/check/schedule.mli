@@ -1,0 +1,32 @@
+(** Recorded schedules: the explorer's replayable counterexample format.
+
+    A schedule is the list of tie-break decisions taken at the run's choice
+    points, in order — decision [d] is an index into the seq-sorted
+    candidate array at the [d]-th point where two or more events shared the
+    minimal timestamp.  Because a simulation is a pure function of its
+    inputs plus these decisions, replaying a schedule reproduces the run
+    exactly; the identity schedule (all zeros, any length) reproduces the
+    default engine order. *)
+
+type t = int list
+
+val to_string : t -> string
+(** Compact dotted form, e.g. ["0.2.1"]; [""] for the empty schedule. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; raises [Invalid_argument] on malformed input. *)
+
+(** {1 Rich traces} *)
+
+type step = {
+  depth : int;  (** choice-point index within the run, from 0 *)
+  time : Nectar_sim.Sim_time.t;  (** simulated time of the tied events *)
+  arity : int;  (** number of candidates *)
+  chosen : int;  (** decision taken *)
+  labels : string array;  (** candidate labels, seq order *)
+  state : int;  (** state fingerprint where the decision was made *)
+}
+
+val step_to_string : step -> string
+(** One human-readable line, e.g.
+    ["#1 t=5us pick 2/3: sig | write | consumer*"] (chosen starred). *)

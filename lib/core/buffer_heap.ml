@@ -101,7 +101,12 @@ let check_invariants t =
     Hashtbl.fold (fun off len acc -> (off, len) :: acc) t.live []
     @ t.free_list
   in
-  let sorted = List.sort compare regions in
+  let sorted =
+    List.sort
+      (fun (o1, l1) (o2, l2) ->
+        if o1 <> o2 then Int.compare o1 o2 else Int.compare l1 l2)
+      regions
+  in
   let rec walk expected = function
     | [] -> if expected <> t.base + t.size then corrupt "coverage gap at end"
     | (off, len) :: rest ->

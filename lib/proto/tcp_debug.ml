@@ -1,0 +1,2 @@
+let enabled = ref false
+let printf fmt = Printf.printf fmt

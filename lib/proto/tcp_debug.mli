@@ -1,0 +1,7 @@
+(** Console tracing for TCP internals — the one place in the protocol tree
+    allowed to print (the lint bans stdout printers in [lib/] outside
+    dump/debug modules).  Off by default; never consulted on the fast path
+    beyond one ref read. *)
+
+val enabled : bool ref
+val printf : ('a, out_channel, unit) format -> 'a

@@ -18,10 +18,14 @@
 type event = {
   time : Sim_time.t;
   seq : int;
+  label : string; (* diagnostic name, shown to tie-break policies *)
   mutable live : bool;
   mutable fn : unit -> unit;
   dead_cell : int ref; (* shared with the owning engine's queue *)
 }
+
+type candidate = { c_time : Sim_time.t; c_seq : int; c_label : string }
+type tie_break = candidate array -> int
 
 type t = {
   mutable clock : Sim_time.t;
@@ -32,6 +36,8 @@ type t = {
   mutable running : (int * string) option;
       (* (pid, name) of the process currently executing, for context
          tracking by the vet checkers; None inside timer callbacks *)
+  mutable tie_break : tie_break option;
+      (* same-time scheduling policy; None = seq order (the contract) *)
 }
 
 (* Process ids are globally unique (not per engine) so checkers observing
@@ -55,7 +61,7 @@ let nothing () = ()
 (* Placeholder for unused array slots; never scheduled, so its shared
    cells are inert. *)
 let dummy_event =
-  { time = 0; seq = 0; live = false; fn = nothing; dead_cell = ref 0 }
+  { time = 0; seq = 0; label = ""; live = false; fn = nothing; dead_cell = ref 0 }
 
 (* Start with room for 1k events (8 KB).  Any simulation that does work
    reaches hundreds of queued events immediately, and growing there through
@@ -71,7 +77,10 @@ let create () =
     size = 0;
     dead = ref 0;
     running = None;
+    tie_break = None;
   }
+
+let set_tie_break t policy = t.tie_break <- policy
 
 let now t = t.clock
 let current_pid t = Option.map fst t.running
@@ -187,17 +196,19 @@ let maybe_compact t =
   if !(t.dead) > t.size - !(t.dead) && t.size >= compact_threshold then
     compact t
 
-let at t time fn =
+let at t ?(label = "") time fn =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.at: time %d before now %d" time t.clock);
-  let ev = { time; seq = t.next_seq; live = true; fn; dead_cell = t.dead } in
+  let ev =
+    { time; seq = t.next_seq; label; live = true; fn; dead_cell = t.dead }
+  in
   t.next_seq <- t.next_seq + 1;
   push t ev;
   maybe_compact t;
   ev
 
-let after t span fn = at t (t.clock + span) fn
+let after t ?label span fn = at t ?label (t.clock + span) fn
 
 (* Any event with [live = true] is still in its engine's heap (the run loop
    marks an event dead before firing it), so a first cancel always accounts
@@ -249,57 +260,164 @@ let spawn t ?(name = "proc") f =
                               ("Engine: double resume of process " ^ name);
                           resumed := true;
                           ignore
-                            (at t t.clock (fun () ->
+                            (at t ~label:name t.clock (fun () ->
                                  labelled (fun () -> continue k v)))
                         in
                         register resume)
                 | _ -> None);
           })
   in
-  ignore (at t t.clock run_body)
+  ignore (at t ~label:name t.clock run_body)
+
+(* The wake-up timers get the process name as label (computed here, while
+   [t.running] is still this process) so tie-break candidates and schedule
+   counterexamples read as "consumer.wake" rather than "?". *)
+let running_label t suffix =
+  (match t.running with Some (_, n) -> n | None -> "") ^ suffix
 
 let sleep t span =
   if span < 0 then invalid_arg "Engine.sleep: negative span";
   if span = 0 then ()
-  else suspend (fun resume -> ignore (after t span (fun () -> resume ())))
+  else
+    let label = running_label t ".wake" in
+    suspend (fun resume -> ignore (after t ~label span (fun () -> resume ())))
 
-let yield t = suspend (fun resume -> ignore (after t 0 (fun () -> resume ())))
+let yield t =
+  let label = running_label t ".yield" in
+  suspend (fun resume -> ignore (after t ~label 0 (fun () -> resume ())))
 
-let run ?until t =
-  match until with
-  | None ->
-      (* Hot loop: no bound check beyond emptiness, no option, no limit
-         comparison. *)
-      while t.size > 0 do
-        let ev = pop_top t in
-        if ev.live then begin
+(* Policy-driven loop, used only when a tie-break policy is installed (the
+   schedule explorer in [lib/check]).  Each step pops the full set of live
+   events sharing the minimal timestamp (they come off the heap in seq
+   order), asks the policy which fires next when there is a real choice,
+   and pushes the rest back.  O(k log n) extra work per event — irrelevant
+   for the small scenarios the explorer drives, and the default loops below
+   are untouched when no policy is installed. *)
+let run_policy t policy until =
+  let continue_run = ref true in
+  while !continue_run do
+    (* Drop dead entries off the top so emptiness and tmin are about live
+       events only. *)
+    while t.size > 0 && not t.heap.(0).live do
+      ignore (pop_top t);
+      decr t.dead
+    done;
+    if t.size = 0 then begin
+      (match until with Some u when u > t.clock -> t.clock <- u | _ -> ());
+      continue_run := false
+    end
+    else begin
+      let tmin = t.heap.(0).time in
+      match until with
+      | Some u when tmin > u ->
+          t.clock <- u;
+          continue_run := false
+      | _ ->
+          let scratch = ref [] in
+          let k = ref 0 in
+          while t.size > 0 && t.heap.(0).time = tmin do
+            let ev = pop_top t in
+            if ev.live then begin
+              scratch := ev :: !scratch;
+              incr k
+            end
+            else decr t.dead
+          done;
+          let cands = Array.of_list (List.rev !scratch) in
+          (* seq order: pop order at equal time *)
+          let chosen =
+            if !k = 1 then 0
+            else begin
+              let view =
+                Array.map
+                  (fun e ->
+                    { c_time = e.time; c_seq = e.seq; c_label = e.label })
+                  cands
+              in
+              let i = policy view in
+              if i < 0 || i >= !k then
+                invalid_arg
+                  (Printf.sprintf
+                     "Engine: tie-break policy chose %d of %d candidates" i !k);
+              i
+            end
+          in
+          (* Reinsert the losers before firing: the fired event may cancel
+             or depend on them, and they keep their original seqs so the
+             later relative order is preserved. *)
+          Array.iteri (fun i e -> if i <> chosen then push t e) cands;
+          let ev = cands.(chosen) in
           t.clock <- ev.time;
           ev.live <- false;
           ev.fn ()
-        end
-        else decr t.dead
-      done
-  | Some u ->
-      let continue_run = ref true in
-      while !continue_run do
-        if t.size = 0 then begin
-          if u > t.clock then t.clock <- u;
-          continue_run := false
-        end
-        else if t.heap.(0).time > u then begin
-          t.clock <- u;
-          continue_run := false
-        end
-        else begin
-          let ev = pop_top t in
-          if ev.live then begin
-            t.clock <- ev.time;
-            ev.live <- false;
-            ev.fn ()
-          end
-          else decr t.dead
-        end
-      done
+    end
+  done
+
+let run ?until t =
+  match t.tie_break with
+  | Some policy -> run_policy t policy until
+  | None -> (
+      match until with
+      | None ->
+          (* Hot loop: no bound check beyond emptiness, no option, no limit
+             comparison. *)
+          while t.size > 0 do
+            let ev = pop_top t in
+            if ev.live then begin
+              t.clock <- ev.time;
+              ev.live <- false;
+              ev.fn ()
+            end
+            else decr t.dead
+          done
+      | Some u ->
+          let continue_run = ref true in
+          while !continue_run do
+            if t.size = 0 then begin
+              if u > t.clock then t.clock <- u;
+              continue_run := false
+            end
+            else if t.heap.(0).time > u then begin
+              t.clock <- u;
+              continue_run := false
+            end
+            else begin
+              let ev = pop_top t in
+              if ev.live then begin
+                t.clock <- ev.time;
+                ev.live <- false;
+                ev.fn ()
+              end
+              else decr t.dead
+            end
+          done)
 
 let pending_events t = t.size - !(t.dead)
 let queued_events t = t.size
+
+(* Order-independent digest of the live pending set: heap-array order is an
+   implementation accident, so per-event hashes are combined with addition.
+   Event seqs are deliberately excluded — two runs that reach the same
+   semantic state through commuting reorderings number their events
+   differently, and the explorer wants those states to collide. *)
+let pending_digest t =
+  let fnv s =
+    let h = ref 0x4bf29ce484222325 in
+    String.iter
+      (fun c -> h := (!h lxor Char.code c) * 0x100000001b3)
+      s;
+    !h
+  in
+  let acc = ref 0 in
+  let count = ref 0 in
+  for i = 0 to t.size - 1 do
+    let e = Array.unsafe_get t.heap i in
+    if e.live then begin
+      incr count;
+      let h = (e.time * 0x9e3779b9) lxor fnv e.label in
+      let h = h lxor (h lsr 29) in
+      let h = h * 0xbf58476d1ce4e5b in
+      acc := !acc + (h lxor (h lsr 32))
+    end
+  done;
+  (!acc + (!count * 0x9e3779b97f4a7c1)) land max_int

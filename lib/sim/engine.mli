@@ -8,7 +8,9 @@
 
     Determinism: events at equal times fire in scheduling order (a strictly
     increasing sequence number breaks ties), and nothing in the engine draws
-    randomness, so a simulation is a pure function of its inputs. *)
+    randomness, so a simulation is a pure function of its inputs.  The
+    tie-break is a pluggable policy (see {!set_tie_break}); every paper
+    table is produced with the default policy. *)
 
 type t
 
@@ -33,11 +35,13 @@ val current_process : t -> string option
 
 type timer
 
-val at : t -> Sim_time.t -> (unit -> unit) -> timer
+val at : t -> ?label:string -> Sim_time.t -> (unit -> unit) -> timer
 (** Schedule a callback at an absolute time (>= now).  Callbacks run outside
-    any process: they must not block (they may spawn, signal, or schedule). *)
+    any process: they must not block (they may spawn, signal, or schedule).
+    [label] (default [""]) is a diagnostic name shown to tie-break policies
+    and in explorer counterexamples; it never affects scheduling. *)
 
-val after : t -> Sim_time.span -> (unit -> unit) -> timer
+val after : t -> ?label:string -> Sim_time.span -> (unit -> unit) -> timer
 
 val cancel : timer -> unit
 (** Idempotent; cancelling a fired timer is a no-op. *)
@@ -59,6 +63,42 @@ val sleep : t -> Sim_time.span -> unit
 
 val yield : t -> unit
 (** Let other events scheduled at the current time run first. *)
+
+(** {1 Same-time tie-break policy}
+
+    The contract: when several live events share the minimal pending
+    timestamp, the default engine fires them in {e scheduling order} —
+    ascending sequence number, i.e. first-scheduled-first-fired.  Every
+    paper table and every seed test is produced under this order, and the
+    regression test in [test/test_sim.ml] pins it: a run under an installed
+    policy that always answers [0] (the "identity schedule") must be
+    byte-identical to a default run, including the final simulated time.
+
+    A policy replaces only the {e choice among equal-time candidates}; time
+    order, cancellation and process semantics are untouched.  The schedule
+    explorer in [lib/check] uses this to enumerate every reachable
+    same-time interleaving of a scenario. *)
+
+type candidate = { c_time : Sim_time.t; c_seq : int; c_label : string }
+(** One live event competing at the current minimal timestamp.  Candidates
+    are presented in ascending [c_seq] order, so index 0 is always the
+    event the default policy would fire. *)
+
+type tie_break = candidate array -> int
+(** Returns the index (in the given array) of the event to fire next.
+    Called only when there are at least two candidates.  Out-of-range
+    answers raise [Invalid_argument] out of {!run}. *)
+
+val set_tie_break : t -> tie_break option -> unit
+(** Install ([Some]) or remove ([None]) the policy.  Must be set before
+    {!run}; the run loop commits to one mode on entry.  [None] (the
+    default) is the seq-order contract above, on the zero-overhead hot
+    path. *)
+
+val pending_digest : t -> int
+(** Order-independent hash of the live pending-event set (times and labels,
+    not seqs) — one ingredient of the explorer's state fingerprint.  O(n)
+    over the queue. *)
 
 (** {1 Running} *)
 

@@ -1,6 +1,10 @@
 type t = { mutable state : int64 }
+type snapshot = int64
 
 let create ~seed = { state = Int64.of_int seed }
+let save t = t.state
+let restore t s = t.state <- s
+let copy t = { state = t.state }
 
 let golden = 0x9e3779b97f4a7c15L
 

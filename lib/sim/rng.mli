@@ -11,6 +11,23 @@ val create : seed:int -> t
 val split : t -> t
 (** Derive an independent stream (for giving each workload its own stream). *)
 
+(** {1 Forking and replaying}
+
+    The schedule explorer re-runs a scenario many times and must be able to
+    park a generator at a branch point and come back to it: a restored (or
+    copied) generator reproduces exactly the stream the original would have
+    produced, draw for draw (property-tested in [test/test_sim.ml]). *)
+
+type snapshot
+(** Immutable capture of a generator's position in its stream. *)
+
+val save : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val copy : t -> t
+(** A fresh generator at the same stream position; the two then advance
+    independently. *)
+
 val next64 : t -> int64
 
 val int : t -> int -> int

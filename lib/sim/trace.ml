@@ -163,4 +163,4 @@ let rollup t =
   Hashtbl.fold (fun label (count, total) acc -> (label, count, total) :: acc)
     table []
   |> List.sort (fun (la, _, ta) (lb, _, tb) ->
-         if ta <> tb then compare tb ta else compare la lb)
+         if ta <> tb then Int.compare tb ta else String.compare la lb)

@@ -485,6 +485,187 @@ let test_probe_occurrences () =
     (Invalid_argument "Probe.find: negative occurrence") (fun () ->
       ignore (Probe.find ~occurrence:(-1) p "a"))
 
+(* ---------- same-time tie-break contract ---------- *)
+
+(* A moderately rich world: same-time timer batches, waitq traffic, a
+   cancelled timer, nested sleeps.  Used to pin the engine.mli contract
+   that the identity policy reproduces the default seq-order run exactly. *)
+let build_pin_world eng log =
+  let q = Waitq.create eng ~name:"pin" () in
+  Engine.spawn eng ~name:"w1" (fun () ->
+      Waitq.wait q;
+      log := ("w1", Engine.now eng) :: !log);
+  Engine.spawn eng ~name:"w2" (fun () ->
+      Waitq.wait q;
+      log := ("w2", Engine.now eng) :: !log);
+  Engine.spawn eng ~name:"p" (fun () ->
+      Engine.sleep eng (us 5);
+      ignore (Waitq.signal q);
+      Engine.yield eng;
+      ignore (Waitq.broadcast q);
+      Engine.sleep eng (us 5);
+      log := ("p", Engine.now eng) :: !log);
+  for i = 1 to 3 do
+    ignore
+      (Engine.at eng
+         ~label:("t" ^ string_of_int i)
+         (us 5)
+         (fun () -> log := ("t" ^ string_of_int i, Engine.now eng) :: !log))
+  done;
+  let tm = Engine.after eng (us 2) (fun () -> log := ("never", 0) :: !log) in
+  ignore (Engine.after eng (us 1) (fun () -> Engine.cancel tm))
+
+let run_pin_world policy =
+  let eng = Engine.create () in
+  let log = ref [] in
+  build_pin_world eng log;
+  Engine.set_tie_break eng policy;
+  Engine.run eng;
+  (List.rev !log, Engine.now eng)
+
+let test_identity_tie_break_pins_default () =
+  let base, base_t = run_pin_world None in
+  let forced, forced_t = run_pin_world (Some (fun _ -> 0)) in
+  Alcotest.(check (list (pair string int)))
+    "identity policy = default order" base forced;
+  check_int "identical final sim time" base_t forced_t;
+  (* and the default order itself is pinned: creation (seq) order *)
+  Alcotest.(check (list (pair string int)))
+    "default same-time order is creation order"
+    [
+      ("t1", us 5); ("t2", us 5); ("t3", us 5);
+      ("w1", us 5); ("w2", us 5); ("p", us 10);
+    ]
+    base
+
+let test_tie_break_reorders () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    ignore (Engine.at eng (us 10) (fun () -> log := i :: !log))
+  done;
+  Engine.set_tie_break eng (Some (fun c -> Array.length c - 1));
+  Engine.run eng;
+  Alcotest.(check (list int))
+    "last-created fires first under reversing policy" [ 3; 2; 1 ]
+    (List.rev !log);
+  check_int "clock still advances to the batch time" (us 10) (Engine.now eng)
+
+(* ---------- rng snapshots ---------- *)
+
+let draw r n =
+  let acc = ref [] in
+  for _ = 1 to n do
+    acc := Rng.int r 1_000_000 :: !acc
+  done;
+  List.rev !acc
+
+let prop_rng_restore =
+  QCheck2.Test.make ~name:"restored rng replays the identical stream"
+    QCheck2.Gen.(pair small_nat (int_bound 50))
+    (fun (seed, k) ->
+      let r = Rng.create ~seed in
+      ignore (draw r k);
+      let snap = Rng.save r in
+      let forked = Rng.copy r in
+      let original = draw r 64 in
+      let replayed =
+        Rng.restore r snap;
+        draw r 64
+      in
+      let from_copy = draw forked 64 in
+      original = replayed && original = from_copy)
+
+let test_rng_copy_independent () =
+  let r = Rng.create ~seed:42 in
+  let c = Rng.copy r in
+  let from_copy = draw c 20 in
+  let from_orig = draw r 20 in
+  Alcotest.(check (list int))
+    "copy starts from the same state" from_orig from_copy;
+  (* draining one generator must not advance the other *)
+  ignore (draw c 100);
+  let snap = Rng.save r in
+  let a = draw r 5 in
+  Rng.restore r snap;
+  let b = draw r 5 in
+  Alcotest.(check (list int)) "restore rewinds the original exactly" a b
+
+(* ---------- waitq edge cases ---------- *)
+
+let test_waitq_signal_empty () =
+  let eng = Engine.create () in
+  let q = Waitq.create eng () in
+  Alcotest.(check bool) "signal with no waiter is lost" false (Waitq.signal q);
+  check_int "broadcast with no waiter wakes none" 0 (Waitq.broadcast q);
+  check_int "no waiters" 0 (Waitq.waiters q)
+
+let test_waitq_signal_skips_dead_entry () =
+  let eng = Engine.create () in
+  let q = Waitq.create eng () in
+  let out = ref `Signaled in
+  let woke = ref false in
+  let signal_found = ref false in
+  Engine.spawn eng ~name:"timed" (fun () ->
+      out := Waitq.wait_timeout q (us 5));
+  Engine.spawn eng ~name:"patient" (fun () ->
+      Waitq.wait q;
+      woke := true);
+  ignore
+    (Engine.after eng (us 10) (fun () ->
+         (* the timed-out entry is still physically queued ahead of the
+            live waiter: signal must skip it, not deliver to a corpse *)
+         signal_found := Waitq.signal q));
+  Engine.run eng;
+  Alcotest.(check bool) "first waiter timed out" true (!out = `Timeout);
+  Alcotest.(check bool) "signal found the live waiter" true !signal_found;
+  Alcotest.(check bool) "live waiter woken" true !woke
+
+let test_waitq_signal_after_all_dead () =
+  let eng = Engine.create () in
+  let q = Waitq.create eng () in
+  let out = ref `Signaled in
+  let late_signal = ref true in
+  Engine.spawn eng (fun () -> out := Waitq.wait_timeout q (us 5));
+  ignore (Engine.after eng (us 10) (fun () -> late_signal := Waitq.signal q));
+  Engine.run eng;
+  Alcotest.(check bool) "timed out" true (!out = `Timeout);
+  Alcotest.(check bool)
+    "signal after the only waiter died returns false" false !late_signal;
+  check_int "dead entry drained from the queue" 0 (Waitq.waiters q)
+
+(* ---------- resource edge cases ---------- *)
+
+let test_resource_release_beyond_capacity () =
+  let eng = Engine.create () in
+  let r = Resource.create eng ~capacity:1 () in
+  Alcotest.check_raises "release when not held"
+    (Invalid_argument "Resource.release: not held") (fun () ->
+      Resource.release r);
+  (* the rejected release must not corrupt the accounting *)
+  Engine.spawn eng (fun () -> Resource.use r (us 5));
+  Engine.run eng;
+  check_int "in_use back to zero" 0 (Resource.in_use r);
+  check_int "busy time intact" (us 5) (Resource.busy_time r);
+  Alcotest.check_raises "still rejected after a clean cycle"
+    (Invalid_argument "Resource.release: not held") (fun () ->
+      Resource.release r)
+
+let test_resource_queue_drains_in_order () =
+  let eng = Engine.create () in
+  let r = Resource.create eng ~capacity:1 () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Resource.with_held r (fun () ->
+            Engine.sleep eng (us 2);
+            order := i :: !order))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo handoff" [ 1; 2; 3 ] (List.rev !order);
+  check_int "queue drained" 0 (Resource.queue_length r);
+  check_int "nothing held" 0 (Resource.in_use r)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -510,6 +691,19 @@ let () =
           Alcotest.test_case "signal beats timeout" `Quick
             test_waitq_signal_beats_timeout;
           Alcotest.test_case "broadcast" `Quick test_waitq_broadcast;
+          Alcotest.test_case "signal on empty queue" `Quick
+            test_waitq_signal_empty;
+          Alcotest.test_case "signal skips dead entry" `Quick
+            test_waitq_signal_skips_dead_entry;
+          Alcotest.test_case "signal after all dead" `Quick
+            test_waitq_signal_after_all_dead;
+        ] );
+      ( "tie-break",
+        [
+          Alcotest.test_case "identity policy pins default order" `Quick
+            test_identity_tie_break_pins_default;
+          Alcotest.test_case "reversing policy reorders" `Quick
+            test_tie_break_reorders;
         ] );
       ( "resource",
         [
@@ -517,6 +711,10 @@ let () =
           Alcotest.test_case "try_acquire" `Quick test_resource_try_acquire;
           Alcotest.test_case "busy time" `Quick test_resource_busy_time;
           Alcotest.test_case "capacity 2" `Quick test_resource_capacity2;
+          Alcotest.test_case "release beyond capacity" `Quick
+            test_resource_release_beyond_capacity;
+          Alcotest.test_case "queue drains in order" `Quick
+            test_resource_queue_drains_in_order;
         ] );
       ( "byte_fifo",
         [
@@ -551,6 +749,9 @@ let () =
           Alcotest.test_case "throughput" `Quick test_throughput;
           Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+          qtest prop_rng_restore;
+          Alcotest.test_case "rng copy independent" `Quick
+            test_rng_copy_independent;
           Alcotest.test_case "probe" `Quick test_probe;
           Alcotest.test_case "probe occurrences" `Quick test_probe_occurrences;
         ] );
