@@ -14,8 +14,9 @@ let experiments =
     ("ablations", Ablations.run);
     ("micro", Micro.run);
     ("chaos", Chaos.run);
-    (* beyond-the-paper perf harness; not in the default list so the
+    (* beyond-the-paper experiments; not in the default list so the
        default run keeps producing exactly the paper tables *)
+    ("failover", Failover.run);
     ("perf", Perf.run ~smoke:false);
     ("perf-smoke", Perf.run ~smoke:true);
   ]

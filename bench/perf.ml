@@ -309,7 +309,8 @@ let check_sweep ~size ~count rows =
 let json_of ~engine_ns ~cancel_ns ~fig7_wall_ms ~sweep ~size
     ~(fleet_off : float * int * int) ~(fleet_on : float * int * int)
     ~fleet_cfg ~copy_size
-    ~(rmp_copies : int * int * float) ~(tcp_copies : int * int) =
+    ~(rmp_copies : int * int * float) ~(tcp_copies : int * int)
+    ~(fo : Failover.result) =
   let b = Buffer.create 1024 in
   let senders, fcount, fsize, coal_us = fleet_cfg in
   let off_t, off_got, off_b = fleet_off in
@@ -363,6 +364,24 @@ let json_of ~engine_ns ~cancel_ns ~fig7_wall_ms ~sweep ~size
      \"pre_zerocopy_per_segment\": %d }\n\
     \  }\n"
     copy_size rmp_after rmp_before reduction tcp_after tcp_before;
+  Buffer.add_string b ",\n";
+  Printf.bprintf b
+    "  \"failover\": {\n\
+    \    \"note\": \"ring reconvergence under a flapping trunk (simulated, \
+     deterministic)\",\n\
+    \    \"flap_cycles\": %d, \"msg_bytes\": %d,\n\
+    \    \"goodput_steady_mbit_s\": %.1f, \
+     \"goodput_reconvergence_mbit_s\": %.1f,\n\
+    \    \"blackout_p50_us\": %.0f, \"blackout_p99_us\": %.0f, \
+     \"blackout_max_us\": %.0f, \"bound_us\": %.0f,\n\
+    \    \"route_recomputes\": %d, \"route_refusals\": %d, \
+     \"retransmits\": %d\n\
+    \  }\n"
+    fo.Failover.cycles fo.Failover.msg_bytes fo.Failover.goodput_steady
+    fo.Failover.goodput_flap fo.Failover.blackout_p50_us
+    fo.Failover.blackout_p99_us fo.Failover.blackout_max_us
+    fo.Failover.bound_us fo.Failover.recomputes fo.Failover.refusals
+    fo.Failover.retransmits;
   Buffer.add_string b "}\n";
   Buffer.contents b
 
@@ -442,6 +461,32 @@ let run ?(smoke = false) () =
     \    coalesce off    %8s Mbit/s  (one interrupt per frame)\n\
     \    coalesce %3dus  %8s Mbit/s  (%d frames in %d batches)\n"
     senders fcount fsize (fmt_mbps off_t) coal_us (fmt_mbps on_t) on_got on_b;
+  (* Failover: simulated and deterministic, so the same full-size run backs
+     both the smoke regression gate and the recorded JSON. *)
+  let fo = Failover.measure () in
+  Failover.print fo;
+  check
+    (Printf.sprintf "failover: delivered %d/%d" fo.Failover.delivered
+       fo.Failover.msgs)
+    (fo.Failover.delivered = fo.Failover.msgs);
+  check
+    (Printf.sprintf "failover: max blackout %.0f us inside bound %.0f us"
+       fo.Failover.blackout_max_us fo.Failover.bound_us)
+    (fo.Failover.blackout_max_us <= fo.Failover.bound_us);
+  check
+    (Printf.sprintf "failover: %d recomputes for %d flap cycles"
+       fo.Failover.recomputes fo.Failover.cycles)
+    (fo.Failover.recomputes = 2 * fo.Failover.cycles);
+  if smoke then
+    (* BENCH_perf.json regression gate: the recorded blackout distribution
+       must reproduce exactly *)
+    check
+      (Printf.sprintf
+         "BENCH_perf.json failover: p50 %.0f us, p99 %.0f us (recorded 40, \
+          5093)"
+         fo.Failover.blackout_p50_us fo.Failover.blackout_p99_us)
+      (Float.round fo.Failover.blackout_p50_us = 40.
+      && Float.round fo.Failover.blackout_p99_us = 5093.);
   if not smoke then begin
     let engine_ns = time_ns engine_1k_events in
     let cancel_ns = time_ns engine_schedule_cancel in
@@ -463,7 +508,7 @@ let run ?(smoke = false) () =
       json_of ~engine_ns ~cancel_ns ~fig7_wall_ms:fig7_wall ~sweep ~size
         ~fleet_off ~fleet_on
         ~fleet_cfg:(senders, fcount, fsize, coal_us)
-        ~copy_size:size ~rmp_copies ~tcp_copies
+        ~copy_size:size ~rmp_copies ~tcp_copies ~fo
     in
     let oc = open_out "BENCH_perf.json" in
     output_string oc js;

@@ -816,6 +816,185 @@ let run_check smoke only verbose =
       Printf.printf "check: FAILED: %s\n" (String.concat ", " bad);
       exit 1
 
+(* ---------- route ---------- *)
+
+module Router = Nectar_route.Router
+module Policy = Nectar_route.Policy
+
+(* The same worlds the chaos campaigns use: a chain (one path per pair) or
+   a closed ring (two disjoint arcs per pair), two full stacks. *)
+let route_world ~ring ~hubs =
+  if ring then Chaos.build_ring ~hubs ~at:[ (0, 2); (hubs / 2, 2) ] ()
+  else Chaos.build_world ~hubs ~cabs:2 ()
+
+let dump_tables w =
+  Array.iter
+    (fun st ->
+      let r = st.Stack.router in
+      Printf.printf "node %d source-route table (generation %d):\n"
+        (Stack.node_id st) (Router.generation r);
+      List.iter (fun l -> Printf.printf "  %s\n" l) (Router.table_lines r))
+    w.Chaos.stacks
+
+(* The verifier gate: lawful policies must verify clean on both topology
+   shapes, and planted unlawful ones — a looping pinned route and a
+   dead-end rule — must be rejected with the right typed error. *)
+let run_route_verify ~hubs =
+  let failures = ref 0 in
+  let gate what errs ok =
+    Printf.printf "  %-52s %s\n" what (if ok then "ok" else "FAIL");
+    List.iter
+      (fun e -> Printf.printf "      %s\n" (Router.string_of_error e))
+      errs;
+    if not ok then incr failures
+  in
+  List.iter
+    (fun (name, ring) ->
+      let w = route_world ~ring ~hubs in
+      let errs = Router.verify w.Chaos.stacks.(0).Stack.router in
+      gate (Printf.sprintf "default policy verifies on the %s" name) errs
+        (errs = []))
+    [ ("chain", false); ("ring", true) ];
+  let w = route_world ~ring:true ~hubs:4 in
+  let a = Stack.node_id w.Chaos.stacks.(0)
+  and b = Stack.node_id w.Chaos.stacks.(1) in
+  (* hub0 -14-> hub3 -15-> hub0 -14-> hub3 -14-> hub2 -2-> node b: walks
+     to the destination over live ports, but revisits two HUBs *)
+  let looping =
+    [
+      {
+        Policy.where = Policy.And (Policy.Src a, Policy.Dst b);
+        prefer = [ Policy.Static [ 14; 15; 14; 14; 2 ] ];
+        ecmp = false;
+      };
+    ]
+  in
+  let errs = Router.verify (Router.create ~policy:looping w.Chaos.net) in
+  gate "planted looping Static route is rejected" errs
+    (List.exists (function Router.Looping _ -> true | _ -> false) errs);
+  (* avoiding both transit HUBs of the 4-ring leaves no path for a pair
+     that is perfectly reachable in the live topology *)
+  let unreachable =
+    [
+      {
+        Policy.where = Policy.And (Policy.Src a, Policy.Dst b);
+        prefer = [ Policy.Avoid_hubs [ 1; 3 ] ];
+        ecmp = false;
+      };
+    ]
+  in
+  let errs = Router.verify (Router.create ~policy:unreachable w.Chaos.net) in
+  gate "planted unreachable policy is rejected" errs
+    (List.exists (function Router.Unreachable _ -> true | _ -> false) errs);
+  !failures
+
+(* Replay a short flap schedule against paced RMP traffic and print what
+   the routing layer did about it: per-cycle blackouts, recompute count,
+   refusals, and the reconverged tables. *)
+let run_route_flaps ~hubs =
+  let w =
+    Chaos.build_ring ~hubs
+      ~at:[ (0, 2); (hubs / 2, 2) ]
+      ~stack_opts:(fun rt -> Stack.create rt ~rmp_window:4 ())
+      ()
+  in
+  let a = w.Chaos.stacks.(0) and b = w.Chaos.stacks.(1) in
+  let gap = Sim_time.us 200 and bytes = 256 and cycles = 3 in
+  let period = Sim_time.ms 8 and outage = Sim_time.ms 2 in
+  let downs = List.init cycles (fun k -> Sim_time.ms 5 + (k * period)) in
+  Chaos.install w
+    {
+      Chaos.Plan.seed = 1990;
+      steps =
+        List.concat_map
+          (fun d ->
+            [
+              Chaos.Plan.step d
+                (Chaos.Plan.Link { hub = 0; port = 14; up = false });
+              Chaos.Plan.step (d + outage)
+                (Chaos.Plan.Link { hub = 0; port = 14; up = true });
+            ])
+          downs;
+    };
+  let msgs = (Sim_time.ms 5 + (cycles * period)) / gap in
+  let inbox =
+    Runtime.create_mailbox b.Stack.rt ~name:"route-inbox" ~port:950
+      ~byte_limit:(64 * 1024) ()
+  in
+  ignore
+    (Thread.create (Runtime.cab b.Stack.rt) ~name:"route-sink" (fun ctx ->
+         for _ = 1 to msgs do
+           let m = Mailbox.begin_get ctx inbox in
+           Mailbox.end_get ctx m
+         done));
+  let tracer = Trace.create w.Chaos.eng in
+  Trace.install tracer;
+  Fun.protect
+    ~finally:(fun () -> Trace.uninstall ())
+    (fun () ->
+      ignore
+        (Thread.create (Runtime.cab a.Stack.rt) ~name:"route-source"
+           (fun ctx ->
+             let payload = String.make bytes 'r' in
+             let dst_cab = Stack.node_id b in
+             for _ = 1 to msgs do
+               Rmp.send_string ctx a.Stack.rmp ~dst_cab ~dst_port:950 payload;
+               Engine.sleep ctx.Ctx.eng gap
+             done;
+             Rmp.flush ctx a.Stack.rmp ~dst_cab ~dst_port:950));
+      Engine.run w.Chaos.eng;
+      let deliveries = Trace.occurrences tracer "rmp.deliver" in
+      let bound =
+        Router.blackout_bound_ns a.Stack.router ~rto_ns:(Rmp.rto a.Stack.rmp)
+        + gap
+      in
+      Printf.printf
+        "%d flap cycles on HUB 0 trunk port 14 (down %.1f ms each):\n" cycles
+        (Sim_time.to_us outage /. 1000.);
+      List.iteri
+        (fun i d ->
+          match List.find_opt (fun t -> t > d) deliveries with
+          | Some t ->
+              Printf.printf
+                "  flap %d at %5.1f ms: blackout %6.0f us  (bound %.0f us)\n"
+                (i + 1)
+                (Sim_time.to_us d /. 1000.)
+                (Sim_time.to_us (t - d))
+                (Sim_time.to_us bound)
+          | None ->
+              Printf.printf "  flap %d at %5.1f ms: no delivery after it\n"
+                (i + 1)
+                (Sim_time.to_us d /. 1000.))
+        downs;
+      Printf.printf
+        "route activity: %d recomputes, %d invalidated entries, %d typed \
+         refusals, %d retransmits\n"
+        (Router.recomputes a.Stack.router)
+        (Router.invalidated a.Stack.router)
+        (Router.route_down_refusals a.Stack.router)
+        (Rmp.retransmits a.Stack.rmp);
+      dump_tables w)
+
+let run_route ring hubs verify flaps =
+  if hubs < (if ring then 3 else 1) then begin
+    Printf.printf "route: need at least %d hubs\n" (if ring then 3 else 1);
+    exit 2
+  end;
+  if verify then begin
+    Printf.printf "route --verify (policy obligations):\n";
+    let fails = run_route_verify ~hubs in
+    if fails > 0 then begin
+      Printf.printf "route --verify: %d gate(s) FAILED\n" fails;
+      exit 1
+    end
+    else
+      Printf.printf
+        "route --verify: lawful policies accepted, planted looping and \
+         unreachable policies rejected\n"
+  end
+  else if flaps then run_route_flaps ~hubs
+  else dump_tables (route_world ~ring ~hubs)
+
 (* ---------- cmdliner wiring ---------- *)
 
 open Cmdliner
@@ -943,12 +1122,45 @@ let check_cmd =
           planned domains refactor; exit nonzero on any failure")
     Term.(const run_check $ smoke $ only $ verbose)
 
+let route_cmd =
+  let ring =
+    Arg.(value & flag
+         & info [ "ring" ]
+             ~doc:"Close the HUB chain into a ring (two disjoint arcs per \
+                   pair).")
+  in
+  let hubs =
+    Arg.(value & opt int 4 & info [ "hubs" ] ~doc:"HUBs in the topology.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Run the policy verifier gate: the default policy must \
+                   verify clean on chain and ring, and planted looping / \
+                   unreachable policies must be rejected; exit nonzero \
+                   otherwise.")
+  in
+  let flaps =
+    Arg.(value & flag
+         & info [ "flaps" ]
+             ~doc:"Replay a seeded trunk-flap schedule against paced RMP \
+                   traffic on the ring and print per-cycle blackouts and \
+                   the reconverged tables.")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Inspect the routing-policy layer: dump compiled per-node \
+          source-route tables, run the compile-time verifier gate, or \
+          replay a link-flap schedule")
+    Term.(const run_route $ ring $ hubs $ verify $ flaps)
+
 let () =
   let doc = "Nectar communication processor simulation scenarios" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "nectar-cli" ~doc)
           [
-            ping_cmd; latency_cmd; throughput_cmd; info_cmd; vet_cmd;
-            chaos_cmd; trace_cmd; check_cmd;
+            ping_cmd; latency_cmd; throughput_cmd; info_cmd; route_cmd;
+            vet_cmd; chaos_cmd; trace_cmd; check_cmd;
           ]))

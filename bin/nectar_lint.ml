@@ -19,6 +19,10 @@
    - no ignored Message.t values (an ignored message is a leaked buffer);
    - no bare failwith in lib/core or lib/proto (raise a typed exception
      such as Buffer_heap.Corrupt, or use invalid_arg for caller errors);
+   - no direct Network.route / Net.route calls in lib/ outside lib/route
+     and lib/hub — transports go through Router.lookup so routing policy
+     and live link state apply (a "[Network.route]" doc reference is not
+     flagged);
    - every .ml under lib/ has a corresponding .mli.
 
    Exits 1 when anything is flagged.  The pattern strings below are built
@@ -58,7 +62,10 @@ let pat_stdout_printers =
     "print_" ^ "newline";
   ]
 
+let pats_net_route = [ "Network." ^ "route"; "Net." ^ "route" ]
+
 let no_failwith_dirs = [ "lib/core"; "lib/proto" ]
+let route_allowed_dirs = [ "lib/route"; "lib/hub" ]
 let no_poly_compare_dirs = [ "lib/sim"; "lib/core" ]
 let obj_allowed_dir = "lib/check"
 let mli_required_dir = "lib"
@@ -68,6 +75,18 @@ let is_ident_char c =
   || (c >= 'A' && c <= 'Z')
   || (c >= '0' && c <= '9')
   || c = '_' || c = '\''
+
+(* [pat] appearing anywhere except directly after '[' (a doc reference).
+   Module-qualified prefixes still match: "Nectar_hub.Network.foo" is a
+   real call site. *)
+let contains_unbracketed line pat =
+  let nl = String.length line and np = String.length pat in
+  let rec at i =
+    i + np <= nl
+    && ((String.sub line i np = pat && (i = 0 || line.[i - 1] <> '['))
+       || at (i + 1))
+  in
+  np > 0 && at 0
 
 (* [word] appearing with identifier boundaries, not module-qualified
    ("X.word" is some module's own function) and not a "[word]" doc
@@ -105,6 +124,11 @@ let check_source path =
   let poly_banned =
     Filename.check_suffix path ".ml"
     && List.exists (fun d -> has_prefix (d ^ "/") path) no_poly_compare_dirs
+  in
+  let route_banned =
+    has_prefix (mli_required_dir ^ "/") path
+    && not
+         (List.exists (fun d -> has_prefix (d ^ "/") path) route_allowed_dirs)
   in
   let base = Filename.basename path in
   let stdout_banned =
@@ -145,6 +169,15 @@ let check_source path =
       if contains line pat_ignore && contains line pat_msg_t then
         flag path ln
           ("ignored Message" ^ ".t: an unreleased message leaks its buffer");
+      if route_banned then
+        List.iter
+          (fun pat ->
+            if contains_unbracketed line pat then
+              flag path ln
+                ("direct " ^ pat
+               ^ " outside lib/route: go through Router.lookup so routing \
+                  policy and live link state apply"))
+          pats_net_route;
       if failwith_banned && contains line pat_failwith then
         flag path ln
           (pat_failwith

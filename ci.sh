@@ -3,7 +3,8 @@
 # correctness gate (nectar-lint + every scenario under nectar-vet),
 # then the seeded chaos campaigns, the model-checking gate (schedule
 # explorer over the seeded-bug suite plus the node-isolation audit),
-# the perf-harness smoke (its
+# the failover gate (route-policy verifier plus the bounded-blackout
+# ring flap campaign), the perf-harness smoke (its
 # assertions are deterministic delivery/batch counts, exact zero-copy
 # byte counters, and the recorded BENCH_perf.json throughputs with
 # tracing compiled in but disabled — wall-clock numbers are never
@@ -16,5 +17,6 @@ dune runtest
 dune build @vet
 dune build @chaos
 dune build @check
+dune build @failover
 dune exec bench/main.exe -- perf-smoke
 dune exec bin/nectar_cli.exe -- trace --check --out /tmp/nectar_trace_ci.json

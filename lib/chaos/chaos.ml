@@ -17,6 +17,7 @@ module Net = Nectar_hub.Network
 module Cab = Nectar_cab.Cab
 module Vme = Nectar_cab.Vme
 module Vet = Nectar_vet.Vet
+module Router = Nectar_route.Router
 
 (* ---------- fault plans ---------- *)
 
@@ -63,6 +64,31 @@ let build_world ?(hubs = 1) ?(cabs = 2) ?stack_opts () =
         in
         let rt = Runtime.create cab in
         match stack_opts with Some f -> f rt | None -> Stack.create rt ())
+  in
+  { eng; net; stacks; drivers = [] }
+
+(* A closed ring of [hubs] HUBs (each trunk port 15 to the next hub's 14)
+   with one CAB per explicit [(hub, port)] seat in [at].  The ring gives
+   every node pair two edge-disjoint trunk arcs — the topology failover
+   campaigns need, where one trunk outage forces a reroute instead of a
+   partition. *)
+let build_ring ~hubs ~at ?stack_opts () =
+  if hubs < 3 then invalid_arg "Chaos.build_ring: a ring needs >= 3 hubs";
+  let eng = Engine.create () in
+  let net = Net.create eng ~hubs () in
+  for h = 0 to hubs - 1 do
+    Net.connect_hubs net (h, 15) ((h + 1) mod hubs, 14)
+  done;
+  let stacks =
+    Array.of_list
+      (List.mapi
+         (fun i (hub, port) ->
+           let cab =
+             Cab.create net ~hub ~port ~name:(Printf.sprintf "cab-%d" i)
+           in
+           let rt = Runtime.create cab in
+           match stack_opts with Some f -> f rt | None -> Stack.create rt ())
+         at)
   in
   { eng; net; stacks; drivers = [] }
 
@@ -378,15 +404,19 @@ let link_flap ~seed =
   expect failures (!ok = 30 && !err = 0)
     "a 12 ms flap is inside the retry budget; every send should deliver";
   expect failures (!received = 30) "receiver missed a delivered message";
+  (* Before failure detection a stale route blackholes on the wire; after
+     it, sends are refused with a typed [Route_down] before reaching the
+     wire.  Either way the flap must have bitten at least one frame. *)
   expect failures
-    (Net.link_down_drops w.net > 0)
-    "the flap window never blackholed a frame";
+    (Net.link_down_drops w.net + Router.route_down_refusals a.Stack.router > 0)
+    "the flap window neither blackholed nor refused a frame";
   check_wire_conservation w failures;
   ( wire_stats w
     @ [
         ("delivered_ok", !ok);
         ("received", !received);
         ("rmp_retransmits", Rmp.retransmits a.Stack.rmp);
+        ("route_refusals", Router.route_down_refusals a.Stack.router);
       ],
     !failures )
 
@@ -418,8 +448,8 @@ let cab_crash ~seed =
     (Cab.powered (Runtime.cab b.Stack.rt))
     "the crashed CAB should be powered again at end of run";
   expect failures
-    (Net.link_down_drops w.net > 0)
-    "the crash window never blackholed a frame";
+    (Net.link_down_drops w.net + Router.route_down_refusals a.Stack.router > 0)
+    "the crash window neither blackholed nor refused a frame";
   check_wire_conservation w failures;
   ( wire_stats w
     @ [
@@ -427,8 +457,118 @@ let cab_crash ~seed =
         ("errored", !err);
         ("received", !received);
         ("rmp_duplicates", Rmp.duplicates b.Stack.rmp);
+        ("route_refusals", Router.route_down_refusals a.Stack.router);
       ],
     !failures )
+
+(* The failover gate: a 4-HUB ring gives the two CABs two edge-disjoint
+   trunk arcs.  Windowed RMP traffic crosses two seeded outages: first the
+   source hub's primary trunk alone (the router must reconverge onto the
+   other arc within detection + recompute), then BOTH of the source hub's
+   trunks (a true partition: once detected, the route database refuses
+   sends with typed [Route_down] until a link returns and the RTO clock
+   recovers the window head).  The blackout after each outage — from the
+   down transition to the first subsequent "rmp.deliver" trace instant —
+   must stay inside the advertised bound, the post-recompute verifier must
+   stay clean, and the wire must conserve every frame. *)
+let flap_failover ~seed =
+  let w =
+    build_ring ~hubs:4
+      ~at:[ (0, 2); (2, 2) ]
+      ~stack_opts:(fun rt -> Stack.create rt ~rmp_window:4 ())
+      ()
+  in
+  let a = w.stacks.(0) and b = w.stacks.(1) in
+  let down1 = Sim_time.ms 5
+  and up1 = Sim_time.ms 12
+  and down2 = Sim_time.ms 20
+  and up2 = Sim_time.ms 32 in
+  install w
+    {
+      Plan.seed;
+      steps =
+        [
+          Plan.step down1 (Plan.Link { hub = 0; port = 14; up = false });
+          Plan.step up1 (Plan.Link { hub = 0; port = 14; up = true });
+          Plan.step down2 (Plan.Link { hub = 0; port = 14; up = false });
+          Plan.step down2 (Plan.Link { hub = 0; port = 15; up = false });
+          Plan.step up2 (Plan.Link { hub = 0; port = 14; up = true });
+          Plan.step up2 (Plan.Link { hub = 0; port = 15; up = true });
+        ];
+    };
+  let tracer = Trace.create w.eng in
+  Trace.install tracer;
+  Fun.protect
+    ~finally:(fun () -> Trace.uninstall ())
+    (fun () ->
+      let received = counting_sink b ~port in
+      let ok = ref 0 and err = ref 0 in
+      rmp_sender a ~dst_cab:(Stack.node_id b) ~port ~count:80 ~bytes:256
+        ~gap:(Sim_time.us 400) ~ok ~err;
+      Engine.run w.eng;
+      let deliveries = Trace.occurrences tracer "rmp.deliver" in
+      (* first delivery strictly after the down transition; -1 = none *)
+      let blackout_after t0 =
+        match List.find_opt (fun t -> t > t0) deliveries with
+        | Some t -> t - t0
+        | None -> -1
+      in
+      (* [outage] covers the part of the dark window no routing layer can
+         beat (both arcs down); the millisecond of slack covers sender
+         pacing and wire time between reconvergence and the next frame. *)
+      let bound ~outage =
+        outage
+        + Router.blackout_bound_ns a.Stack.router
+            ~rto_ns:(Rmp.rto a.Stack.rmp)
+        + Sim_time.ms 1
+      in
+      let b1 = blackout_after down1 and b2 = blackout_after down2 in
+      let failures = ref [] in
+      expect failures
+        (!ok = 80 && !err = 0)
+        "every windowed send should be admitted without a latched timeout";
+      expect failures
+        (Rmp.failed_sends a.Stack.rmp = 0)
+        "no message may exhaust its retry budget across the outages";
+      expect failures (!received = 80) "receiver missed a delivered message";
+      expect failures
+        (b1 >= 0 && b1 <= bound ~outage:0)
+        (Printf.sprintf
+           "single-trunk blackout %d ns exceeds detection + recompute + RTO"
+           b1);
+      expect failures
+        (b2 >= 0 && b2 <= bound ~outage:(up2 - down2))
+        (Printf.sprintf
+           "partition blackout %d ns exceeds outage + detection + recompute \
+            + RTO"
+           b2);
+      expect failures
+        (List.exists (fun t -> t > down1 && t < up1) deliveries)
+        "no delivery crossed the surviving arc while the primary trunk was \
+         down";
+      expect failures
+        (Router.route_down_refusals a.Stack.router > 0)
+        "the partition never produced a typed Route_down refusal";
+      expect failures
+        (Router.verify_failures a.Stack.router
+         + Router.verify_failures b.Stack.router
+        = 0)
+        "the route verifier flagged a recomputed table";
+      expect failures
+        (Router.recomputes a.Stack.router >= 6)
+        "the router missed a link transition";
+      check_wire_conservation w failures;
+      ( wire_stats w
+        @ [
+            ("delivered_ok", !ok);
+            ("received", !received);
+            ("rmp_retransmits", Rmp.retransmits a.Stack.rmp);
+            ("route_refusals", Router.route_down_refusals a.Stack.router);
+            ("route_recomputes", Router.recomputes a.Stack.router);
+            ("blackout_flap_us", b1 / 1_000);
+            ("blackout_partition_us", b2 / 1_000);
+          ],
+        !failures ))
 
 let vme_errors ~seed =
   let w = build_world () in
@@ -711,6 +851,12 @@ let campaigns =
       about = "crash-and-restart: errors during the outage, recovery after";
       quiesced = true;
       body = cab_crash;
+    };
+    {
+      cname = "flap-failover";
+      about = "ring reroutes under trunk flap and partition, blackouts bounded";
+      quiesced = true;
+      body = flap_failover;
     };
     {
       cname = "vme-errors";

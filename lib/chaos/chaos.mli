@@ -60,6 +60,18 @@ val build_world :
 (** A chain of [hubs] HUBs (default 1) with [cabs] full protocol stacks
     (default 2) attached round-robin. *)
 
+val build_ring :
+  hubs:int ->
+  at:(int * int) list ->
+  ?stack_opts:(Nectar_core.Runtime.t -> Nectar_proto.Stack.t) ->
+  unit ->
+  world
+(** A closed ring of [hubs] HUBs (>= 3; each trunk port 15 to the next
+    hub's 14) with one CAB per [(hub, port)] seat in [at].  Rings give
+    every pair two edge-disjoint trunk arcs — the topology failover
+    campaigns and benches use, where one trunk outage forces a reroute
+    instead of a partition. *)
+
 val add_host : world -> int -> Nectar_host.Cab_driver.t
 (** Attach a host to the CAB at stack index [i] (required before a
     [Vme_errors] step can name it). *)

@@ -208,6 +208,130 @@ let ack_race ~buggy () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Micro scenario 4: stale route vs in-flight retransmission.
+
+   A link flap races a stop-and-wait retransmission.  The router's
+   link-down detection takes 15us, so the table-invalidation event lands
+   on the same tick as the sender's rto expiry.  The buggy sender trusts
+   whatever the table holds: if the explorer fires the retransmission
+   before the invalidation, the stale entry steers the frame onto the
+   dark port where it is silently blackholed — and it was the last
+   attempt, so the message is lost.  The default schedule fires the
+   invalidation first (it was created earlier), so a single run looks
+   clean.  The fixed sender re-validates the cached route against live
+   link state before transmitting; a refusal costs no attempt, mirroring
+   how Router.Route_down is absorbed by RMP without reaching the wire. *)
+
+let stale_route ~buggy () =
+  let eng = Engine.create () in
+  let wire = Sim_time.us 8 in
+  let rto = Sim_time.us 20 in
+  let max_attempts = 2 in
+  let link_up = ref true in
+  let cached = ref true (* routing-table entry for the primary arc *) in
+  let delivered = ref [] in
+  let acked = ref false in
+  let failed = ref false in
+  let retransmits = ref 0 in
+  let refusals = ref 0 in
+  let blackholed = ref 0 in
+  let attempts = ref 0 in
+  let sender_done = ref false in
+  let receive_data id =
+    if not (List.mem id !delivered) then delivered := id :: !delivered;
+    ignore (Engine.after eng ~label:"wire.ack" wire (fun () -> acked := true))
+  in
+  let transmit id =
+    incr attempts;
+    if !link_up then
+      ignore
+        (Engine.after eng ~label:"wire.data" wire (fun () ->
+             if !link_up then receive_data id else (* lost in flight *) ()))
+    else (* stale route onto a dark port: the frame vanishes *)
+      incr blackholed
+  in
+  (* table lookup; the fixed twin re-validates against live link state *)
+  let lookup () =
+    if !cached then
+      if buggy then true
+      else if !link_up then true
+      else begin
+        cached := false;
+        false
+      end
+    else if !link_up then begin
+      cached := true;
+      true
+    end
+    else false
+  in
+  ignore
+    (Engine.after eng ~label:"link.down" (Sim_time.us 5) (fun () ->
+         link_up := false;
+         (* detection delay: the table keeps the dead entry for 15us *)
+         ignore
+           (Engine.after eng ~label:"route.invalidate" (Sim_time.us 15)
+              (fun () -> cached := false))));
+  ignore
+    (Engine.after eng ~label:"link.up" (Sim_time.us 30) (fun () ->
+         link_up := true;
+         (* recompute on the up transition repopulates the table *)
+         cached := true));
+  Engine.spawn eng ~name:"sender" (fun () ->
+      transmit 1;
+      let deadline = ref (Engine.now eng + rto) in
+      let give_up = ref false in
+      while (not !acked) && not !give_up do
+        Engine.sleep eng (Sim_time.us 10);
+        if (not !acked) && Engine.now eng >= !deadline then
+          if !attempts < max_attempts then begin
+            if lookup () then begin
+              incr retransmits;
+              transmit 1
+            end
+            else incr refusals;
+            deadline := Engine.now eng + rto
+          end
+          else begin
+            failed := true;
+            give_up := true
+          end
+      done;
+      sender_done := true);
+  {
+    Explore.engine = eng;
+    until = None;
+    fingerprint =
+      Some
+        (fun fp ->
+          Fp.bool fp !link_up;
+          Fp.bool fp !cached;
+          Fp.bool fp !acked;
+          Fp.bool fp !failed;
+          Fp.int fp !attempts;
+          Fp.int fp !retransmits;
+          Fp.int fp !refusals;
+          Fp.int fp !blackholed;
+          Fp.bool fp !sender_done;
+          Fp.list fp Fun.id !delivered);
+    check_now = None;
+    at_end =
+      (fun () ->
+        let v = ref [] in
+        if !delivered <> [ 1 ] then
+          v :=
+            sprintf
+              "message delivered %d times (want exactly once): %d \
+               retransmission(s) blackholed by a stale route"
+              (List.length !delivered) !blackholed
+            :: !v;
+        if !failed && !delivered = [ 1 ] then
+          v := "sender latched failure for a delivered message" :: !v;
+        if not !sender_done then v := "deadlock: sender never finished" :: !v;
+        !v);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Full-runtime scenario: mailbox two-phase put/get with an interrupt-level
    producer racing two threads.  Properties: every message delivered
    exactly once, per-producer order preserved, mailbox drained, both
@@ -476,6 +600,26 @@ let all : Explore.scenario list =
       quiesced = true;
       budget = 500;
       build = ack_race ~buggy:false;
+    };
+    {
+      name = "stale-route";
+      descr =
+        "retransmission trusts a route entry the flap already killed (seeded \
+         bug)";
+      expect_bug = true;
+      vet = false;
+      quiesced = true;
+      budget = 500;
+      build = stale_route ~buggy:true;
+    };
+    {
+      name = "stale-route-fixed";
+      descr = "retransmission re-validates the cached route against live links";
+      expect_bug = false;
+      vet = false;
+      quiesced = true;
+      budget = 500;
+      build = stale_route ~buggy:false;
     };
     {
       name = "mailbox-interrupt";

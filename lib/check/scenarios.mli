@@ -2,10 +2,12 @@
 
     {1 Explorer scenarios}
 
-    Three seeded-bug micro scenarios (each with a fixed twin) reproduce
+    Four seeded-bug micro scenarios (each with a fixed twin) reproduce
     classic ordering bugs at engine level — a publish/signal reorder, a
-    lost wakeup across a blocking boundary, and a retransmit-timer vs ack
-    race.  Each bug is constructed so the {e default} creation-order
+    lost wakeup across a blocking boundary, a retransmit-timer vs ack
+    race, and a link-flap whose table invalidation lags detection so a
+    same-tick retransmission can follow the stale route onto a dark
+    port.  Each bug is constructed so the {e default} creation-order
     schedule masks it: a single run passes, and only the explorer's
     reordering of same-time events produces the violation.  Three
     full-runtime scenarios (mailbox put/get under an interrupt producer,

@@ -31,6 +31,7 @@ type t = {
   hop_latency_ns : int;
   chunk : int;
   mutable fault : (Frame.t -> fault_verdict) option;
+  mutable link_watchers : (hub:int -> port:int -> up:bool -> unit) list;
   mutable frame_ids : int;
   frames : Stats.Counter.t;
   bytes : Stats.Counter.t;
@@ -69,6 +70,7 @@ let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
     hop_latency_ns;
     chunk = chunk_bytes;
     fault = None;
+    link_watchers = [];
     frame_ids = 0;
     frames = Stats.Counter.create ();
     bytes = Stats.Counter.create ();
@@ -80,6 +82,8 @@ let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
 
 let engine t = t.eng
 let chunk_bytes t = t.chunk
+let hub_count t = Array.length t.hubs
+let ports_per_hub t = Array.length t.hubs.(0).ports
 
 let port t hub p =
   if hub < 0 || hub >= Array.length t.hubs then
@@ -145,6 +149,18 @@ let route t ~src ~dst =
   in
   unwind dst_node.node_hub [] @ [ dst_node.node_port ]
 
+let route_opt t ~src ~dst =
+  match route t ~src ~dst with
+  | r -> Some r
+  | exception Not_found -> None
+
+let peer t ~hub ~port:p = (port t hub p).peer
+let port_up t ~hub ~port:p = (port t hub p).up
+
+let node_attachment t id =
+  let n = node t id in
+  (n.node_hub, n.node_port)
+
 let resolve t ~src route_ports =
   let rec walk hub_idx ports acc =
     match ports with
@@ -161,14 +177,24 @@ let resolve t ~src route_ports =
   in
   walk (node t src).node_hub route_ports []
 
-let set_link_up t ~hub ~port:p up = (port t hub p).up <- up
+let on_link_change t f = t.link_watchers <- f :: t.link_watchers
+
+(* Transition-only: double-down and double-up are idempotent no-ops, so
+   link watchers (route recomputation, traces) fire exactly once per real
+   state change and never during steady state. *)
+let set_link_up t ~hub ~port:p up =
+  let port = port t hub p in
+  if port.up <> up then begin
+    port.up <- up;
+    List.iter (fun f -> f ~hub ~port:p ~up) t.link_watchers
+  end
 
 (* A node's link is the fiber pair on its attachment port: taking it down
    severs the node in both directions (its HUB port neither accepts nor
    emits frames), which is also how a crashed CAB looks to the fabric. *)
 let set_node_up t id up =
   let n = node t id in
-  (port t n.node_hub n.node_port).up <- up
+  set_link_up t ~hub:n.node_hub ~port:n.node_port up
 
 let node_up t id =
   let n = node t id in

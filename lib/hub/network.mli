@@ -63,6 +63,27 @@ val route : t -> src:node_id -> dst:node_id -> int list
 (** Shortest source route (one output-port index per HUB traversed).
     Raises [Not_found] if unreachable. *)
 
+val route_opt : t -> src:node_id -> dst:node_id -> int list option
+(** Like {!route} but [None] on a partitioned pair instead of raising, so
+    callers can surface a typed no-route error rather than let [Not_found]
+    escape the engine loop.  Still [Invalid_argument] when [src = dst]. *)
+
+(** {1 Topology introspection}
+
+    Read-only accessors used by the routing-policy compiler (lib/route) to
+    enumerate paths itself rather than going through {!route}. *)
+
+type port_peer = Free | To_node of node_id | To_hub of int * int
+(** What the far end of a HUB port is wired to: nothing, a node's
+    attachment fiber, or [(hub, port)] of the peer HUB. *)
+
+val hub_count : t -> int
+val ports_per_hub : t -> int
+val peer : t -> hub:int -> port:int -> port_peer
+val port_up : t -> hub:int -> port:int -> bool
+val node_attachment : t -> node_id -> int * int
+(** [(hub, port)] a node is attached to. *)
+
 val transmit :
   ?header_bytes:int -> t -> src:node_id -> route:int list -> Frame.t -> unit
 (** Stream a frame along [route].  Blocks the calling process for connection
@@ -91,6 +112,14 @@ val set_fault_hook : t -> (Frame.t -> fault_verdict) option -> unit
     {!link_down_drops}. *)
 
 val set_link_up : t -> hub:int -> port:int -> bool -> unit
+(** Transition-only: setting a port to its current state is a no-op
+    (double-down / double-up are idempotent) and does not notify
+    watchers. *)
+
+val on_link_change : t -> (hub:int -> port:int -> up:bool -> unit) -> unit
+(** Register a watcher called on every real up/down transition of any
+    port ({!set_link_up} and {!set_node_up}).  Called synchronously from
+    the caller's context; must not block. *)
 
 val set_node_up : t -> node_id -> bool -> unit
 (** Take a node's attachment link down/up — how a link flap or a crashed

@@ -1,6 +1,6 @@
 open Nectar_core
 open Nectar_cab
-module Net = Nectar_hub.Network
+module Router = Nectar_route.Router
 
 type binding = {
   input_mailbox : Mailbox.t;
@@ -17,11 +17,13 @@ type t = {
          so 256 slots cover every decodable value and the per-frame demux
          is a single array load instead of a hash probe *)
   tx_pool : Mailbox.t;
-  routes : (int, int list) Hashtbl.t;
+  router : Router.t;
   mutable no_buffer : int;
   mutable bad_proto : int;
   mutable bad_len : int;
   mutable crc_drops : int;
+  mutable route_down_count : int;
+  mutable no_route_count : int;
   mutable frames_in_count : int;
   mutable frames_out_count : int;
 }
@@ -80,8 +82,13 @@ let rx_frame t ictx pending =
               end)
             ())
 
-let create rt =
+let create ?router rt =
   let cab = Runtime.cab rt in
+  let router =
+    match router with
+    | Some r -> r
+    | None -> Router.create (Cab.network cab)
+  in
   let tx_pool =
     Runtime.create_mailbox rt
       ~name:(Cab.name cab ^ ".dl-tx-pool")
@@ -93,11 +100,13 @@ let create rt =
       cab;
       bindings = Array.make 256 None;
       tx_pool;
-      routes = Hashtbl.create 32;
+      router;
       no_buffer = 0;
       bad_proto = 0;
       bad_len = 0;
       crc_drops = 0;
+      route_down_count = 0;
+      no_route_count = 0;
       frames_in_count = 0;
       frames_out_count = 0;
     }
@@ -106,6 +115,7 @@ let create rt =
   t
 
 let runtime t = t.rt
+let router t = t.router
 
 let register t ~proto binding =
   if proto < 0 || proto > 255 then
@@ -114,15 +124,19 @@ let register t ~proto binding =
     invalid_arg "Datalink.register: protocol already bound";
   t.bindings.(proto) <- Some binding
 
-let route_to t dst_cab =
-  match Hashtbl.find_opt t.routes dst_cab with
-  | Some r -> r
-  | None ->
-      let r =
-        Net.route (Cab.network t.cab) ~src:(Cab.node_id t.cab) ~dst:dst_cab
-      in
-      Hashtbl.replace t.routes dst_cab r;
-      r
+(* Consult the live route database for this flow.  Typed refusals are
+   counted here (per CAB) as well as in the router (per database): a
+   refused send never reaches the wire, so conservation accounting treats
+   it like a local drop absorbed by retransmission. *)
+let route_to t ~dst_cab ~proto =
+  try Router.lookup t.router ~src:(Cab.node_id t.cab) ~dst:dst_cab ~proto
+  with
+  | Router.Route_down _ as e ->
+      t.route_down_count <- t.route_down_count + 1;
+      raise e
+  | Router.No_route _ as e ->
+      t.no_route_count <- t.no_route_count + 1;
+      raise e
 
 let alloc_frame ctx t n =
   (* headroom reserved at allocation: [output] prepends the datalink header
@@ -141,6 +155,11 @@ let output_sg (ctx : Ctx.t) t ~dst_cab ~proto ~msg ~tail ~on_done =
     invalid_arg
       (Printf.sprintf "Datalink.output: loopback not supported (%s, dst %d)"
          (Cab.name t.cab) dst_cab);
+  (* Route lookup comes first, before any mutation of [msg]: a typed
+     [Route_down]/[No_route] refusal must leave the caller's message view
+     and refcounts exactly as they were, so retransmission machinery can
+     re-send the same buffer once the routes reconverge. *)
+  let route = route_to t ~dst_cab ~proto in
   let tid = Nectar_sim.Trace.span_begin ~track:(Cab.name t.cab) "dl.tx" in
   ctx.work Costs.dl_tx_setup_ns;
   let tail_len =
@@ -170,8 +189,7 @@ let output_sg (ctx : Ctx.t) t ~dst_cab ~proto ~msg ~tail ~on_done =
     (msg.Message.mem, msg.Message.off, Message.length msg)
     :: List.map Message.Slice.extent tail
   in
-  Cab.send_frame t.cab ~route:(route_to t dst_cab)
-    ~header_bytes:Wire.dl_header_bytes
+  Cab.send_frame t.cab ~route ~header_bytes:Wire.dl_header_bytes
     ~release:(fun () ->
       Message.release msg;
       List.iter Message.Slice.release tail)
@@ -190,6 +208,8 @@ let drops_no_buffer t = t.no_buffer
 let drops_bad_proto t = t.bad_proto
 let drops_bad_len t = t.bad_len
 let drops_crc t = t.crc_drops
+let drops_route_down t = t.route_down_count
+let drops_no_route t = t.no_route_count
 let frames_in t = t.frames_in_count
 let frames_out t = t.frames_out_count
 
@@ -200,4 +220,6 @@ let register_metrics t reg ~prefix =
   c "dl.drops_bad_len" (fun () -> drops_bad_len t);
   c "dl.drops_bad_proto" (fun () -> drops_bad_proto t);
   c "dl.drops_no_buffer" (fun () -> drops_no_buffer t);
-  c "dl.drops_crc" (fun () -> drops_crc t)
+  c "dl.drops_crc" (fun () -> drops_crc t);
+  c "dl.drops_route_down" (fun () -> drops_route_down t);
+  c "dl.drops_no_route" (fun () -> drops_no_route t)

@@ -27,9 +27,15 @@ type binding = {
     Nectar_core.Ctx.t -> Nectar_core.Message.t -> src_cab:int -> unit;
 }
 
-val create : Nectar_core.Runtime.t -> t
+val create : ?router:Nectar_route.Router.t -> Nectar_core.Runtime.t -> t
+(** [router] is the live route database every transmit consults (shared
+    across CABs when passed explicitly, e.g. by [Stack.create]); by
+    default a private router with the empty policy is built, which
+    compiles exactly [Network.route]'s shortest paths. *)
 
 val runtime : t -> Nectar_core.Runtime.t
+
+val router : t -> Nectar_route.Router.t
 
 val register : t -> proto:int -> binding -> unit
 
@@ -61,7 +67,14 @@ val output :
     receiver drains it or the wire swallows it), so [on_done] signals
     transmit-descriptor completion, not that the bytes are unreferenced.
     Loopback to the local CAB is not supported: Nectar CABs talk to
-    themselves through local mailboxes, never the fabric. *)
+    themselves through local mailboxes, never the fabric.
+
+    Raises [Router.Route_down] when the route database currently has no
+    live path for the flow, and [Router.No_route] when the pair is
+    statically partitioned — both *before* touching the message, so the
+    caller's view and refcounts are unchanged and the same buffer can be
+    re-sent after reconvergence.  Reliable transports absorb [Route_down]
+    into their retransmission machinery. *)
 
 val output_sg :
   Nectar_core.Ctx.t ->
@@ -89,6 +102,15 @@ val drops_bad_len : t -> int
     such frames are dropped whole. *)
 
 val drops_crc : t -> int
+
+val drops_route_down : t -> int
+(** Sends refused with a typed [Route_down] — the database knew the path
+    was dead, so the frame never reached the wire (distinct from the
+    fabric's [link_down_drops], which blackhole *on* the wire). *)
+
+val drops_no_route : t -> int
+(** Sends refused with a typed [No_route] (statically partitioned pair). *)
+
 val frames_in : t -> int
 val frames_out : t -> int
 

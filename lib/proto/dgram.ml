@@ -1,5 +1,6 @@
 open Nectar_core
 module Costs = Nectar_cab.Costs
+module Router = Nectar_route.Router
 
 let header_bytes = 8
 
@@ -9,6 +10,7 @@ type t = {
   input : Mailbox.t;
   mutable delivered_count : int;
   mutable no_port : int;
+  mutable route_drops_count : int;
 }
 
 (* Header: dst_port u16 | src_port u16 | payload_len u16 | reserved u16 *)
@@ -49,7 +51,7 @@ let create dl =
     Runtime.create_mailbox rt ~name:"dgram-input" ~byte_limit:(128 * 1024)
       ~cached_buffer_bytes:0 ()
   in
-  let t = { dl; rt; input; delivered_count = 0; no_port = 0 } in
+  let t = { dl; rt; input; delivered_count = 0; no_port = 0; route_drops_count = 0 } in
   Datalink.register dl ~proto:Wire.proto_dgram
     {
       Datalink.input_mailbox = input;
@@ -71,8 +73,14 @@ let send (ctx : Ctx.t) t ~dst_cab ~dst_port ?(src_port = 0) msg =
   ctx.work Costs.dgram_ns;
   Message.push_head msg header_bytes;
   write_header msg ~dst_port ~src_port;
-  Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_dgram ~msg
-    ~on_done:Mailbox.dispose
+  try
+    Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_dgram ~msg
+      ~on_done:Mailbox.dispose
+  with Router.Route_down _ | Router.No_route _ ->
+    (* unreliable datagram: a refused route is a local drop, counted —
+       exactly what the wire would have done to it a window later *)
+    t.route_drops_count <- t.route_drops_count + 1;
+    Mailbox.dispose ctx msg
 
 let send_string ctx t ~dst_cab ~dst_port s =
   let msg = alloc ctx t (String.length s) in
@@ -84,3 +92,4 @@ let send_string ctx t ~dst_cab ~dst_port s =
 
 let delivered t = t.delivered_count
 let dropped_no_port t = t.no_port
+let route_drops t = t.route_drops_count

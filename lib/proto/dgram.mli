@@ -37,3 +37,7 @@ val send_string :
 
 val delivered : t -> int
 val dropped_no_port : t -> int
+
+val route_drops : t -> int
+(** Datagrams dropped locally on a typed route refusal: the unreliable
+    transport absorbs [Route_down]/[No_route] as a counted local drop. *)

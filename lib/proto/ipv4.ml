@@ -2,6 +2,7 @@ open Nectar_core
 open Nectar_sim
 open Nectar_util
 module Costs = Nectar_cab.Costs
+module Router = Nectar_route.Router
 
 type addr = int
 
@@ -59,6 +60,7 @@ type t = {
   mutable hdr_drops : int;
   mutable proto_drops : int;
   mutable reass_drops : int;
+  mutable route_drops_count : int;
 }
 
 let datalink t = t.dl
@@ -140,8 +142,14 @@ let send_datagram ctx t ~id ~more_fragments ~frag_off ~ttl ~proto ~src ~dst
     ~total_len:(Message.length msg) ~id ~more_fragments ~frag_off ~ttl ~proto
     ~src ~dst;
   t.out_count <- t.out_count + 1;
-  Datalink.output ctx t.dl ~dst_cab:(cab_of_addr dst) ~proto:Wire.proto_ip
-    ~msg ~on_done:Mailbox.dispose
+  try
+    Datalink.output ctx t.dl ~dst_cab:(cab_of_addr dst) ~proto:Wire.proto_ip
+      ~msg ~on_done:Mailbox.dispose
+  with Router.Route_down _ | Router.No_route _ ->
+    (* IP is best-effort: a refused route is a local drop, counted; the
+       transports above (TCP RTO) recover on their own clock *)
+    t.route_drops_count <- t.route_drops_count + 1;
+    Mailbox.dispose ctx msg
 
 let output (ctx : Ctx.t) t ?src ~dst ~proto msg =
   ctx.work Costs.ip_output_ns;
@@ -174,9 +182,17 @@ let output (ctx : Ctx.t) t ?src ~dst ~proto msg =
           ~frag_off:off ~ttl ~proto ~src ~dst;
         t.frag_out <- t.frag_out + 1;
         t.out_count <- t.out_count + 1;
-        Datalink.output_sg ctx t.dl ~dst_cab:(cab_of_addr dst)
-          ~proto:Wire.proto_ip ~msg:hdr ~tail:[ payload ]
-          ~on_done:Mailbox.dispose;
+        (try
+           Datalink.output_sg ctx t.dl ~dst_cab:(cab_of_addr dst)
+             ~proto:Wire.proto_ip ~msg:hdr ~tail:[ payload ]
+             ~on_done:Mailbox.dispose
+         with Router.Route_down _ | Router.No_route _ ->
+           (* the refused fragment never became a frame: slice ownership
+              only transfers on a successful send, so release both the
+              header message and the payload slice here *)
+           t.route_drops_count <- t.route_drops_count + 1;
+           Mailbox.dispose ctx hdr;
+           Message.Slice.release payload);
         slice (off + n)
       end
     in
@@ -340,6 +356,7 @@ let create dl ?(mtu = 65535) ?(ttl = 32) () =
       hdr_drops = 0;
       proto_drops = 0;
       reass_drops = 0;
+      route_drops_count = 0;
     }
   in
   Datalink.register dl ~proto:Wire.proto_ip
@@ -359,3 +376,4 @@ let reassembled t = t.reass_count
 let drops_header t = t.hdr_drops
 let drops_no_proto t = t.proto_drops
 let drops_reassembly t = t.reass_drops
+let route_drops t = t.route_drops_count

@@ -91,3 +91,8 @@ val reassembled : t -> int
 val drops_header : t -> int
 val drops_no_proto : t -> int
 val drops_reassembly : t -> int
+
+val route_drops : t -> int
+(** Datagrams and fragments dropped locally on a typed route refusal
+    ([Route_down]/[No_route]) — IP is best-effort, so these never raise;
+    TCP's RTO recovers on its own clock. *)

@@ -1,6 +1,7 @@
 open Nectar_core
 open Nectar_sim
 module Costs = Nectar_cab.Costs
+module Router = Nectar_route.Router
 
 let header_bytes = 12
 
@@ -70,13 +71,18 @@ let send_response t ctx ~dst_cab ~dst_port ~txn response =
     Datalink.alloc_frame ctx t.dl (header_bytes + String.length response)
   with
   | None -> () (* client will retransmit the request *)
-  | Some msg ->
+  | Some msg -> (
       Nectar_util.Copy_meter.record ~owner:t.owner Nectar_util.Copy_meter.App
         (String.length response);
       Message.write_string msg header_bytes response;
       write_header msg ~ty:ty_response ~dst_port ~txn;
-      Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_reqresp ~msg
-        ~on_done:Mailbox.dispose
+      try
+        Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_reqresp ~msg
+          ~on_done:Mailbox.dispose
+      with Router.Route_down _ | Router.No_route _ ->
+        (* no live return path: drop the response — the reply cache
+           answers the client's retransmitted request after recovery *)
+        Mailbox.dispose ctx msg)
 
 let run_handler t ctx server ~client_cab ~dst_port ~txn request =
   Nectar_sim.Trace.instant ~track:t.owner "rpc.serve";
@@ -272,10 +278,20 @@ let call (ctx : Ctx.t) t ~dst_cab ~dst_port request =
     end;
     if tries > 0 then Nectar_sim.Trace.instant ~track:t.owner "rpc.retx";
     incr queued;
-    Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_reqresp ~msg
-      ~on_done:(fun ctx _ ->
+    (try
+       Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_reqresp ~msg
+         ~on_done:(fun ctx _ ->
+           decr queued;
+           release ctx)
+     with
+    | Router.Route_down _ ->
+        (* blackout window: treat like a lost request, retry after RTO *)
+        decr queued
+    | Router.No_route _ as e ->
         decr queued;
-        release ctx);
+        finish ();
+        Nectar_sim.Trace.span_end trace_id;
+        raise e);
     let rec await () =
       match p.response with
       | Some r -> r

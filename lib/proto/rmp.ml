@@ -1,6 +1,7 @@
 open Nectar_core
 open Nectar_sim
 module Costs = Nectar_cab.Costs
+module Router = Nectar_route.Router
 
 let header_bytes = 12
 
@@ -100,10 +101,14 @@ let channel t ~dst_cab ~dst_port =
 let send_ack t ctx ~dst_cab ~dst_port ~seq =
   match Datalink.alloc_frame ctx t.dl header_bytes with
   | None -> () (* no transmit space: the sender will retransmit *)
-  | Some ack ->
+  | Some ack -> (
       write_header ack ~ty:ty_ack ~dst_port ~seq;
-      Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_rmp ~msg:ack
-        ~on_done:Mailbox.dispose
+      try
+        Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_rmp ~msg:ack
+          ~on_done:Mailbox.dispose
+      with Router.Route_down _ | Router.No_route _ ->
+        (* no live return path: drop the ack, the sender retransmits *)
+        Mailbox.dispose ctx ack)
 
 (* {2 Windowed sender} *)
 
@@ -113,11 +118,17 @@ let release_entry ctx entry =
 let transmit t ctx c entry =
   entry.if_queued <- entry.if_queued + 1;
   entry.if_sent_at <- Engine.now (Runtime.engine t.rt);
-  Datalink.output ctx t.dl ~dst_cab:c.ch_dst_cab ~proto:Wire.proto_rmp
-    ~msg:entry.if_msg
-    ~on_done:(fun ctx _ ->
-      entry.if_queued <- entry.if_queued - 1;
-      release_entry ctx entry)
+  try
+    Datalink.output ctx t.dl ~dst_cab:c.ch_dst_cab ~proto:Wire.proto_rmp
+      ~msg:entry.if_msg
+      ~on_done:(fun ctx _ ->
+        entry.if_queued <- entry.if_queued - 1;
+        release_entry ctx entry)
+  with Router.Route_down _ | Router.No_route _ ->
+    (* typed refusal before the wire: roll back the queued count (the
+       frame was never handed to the DMA) and let the retransmit daemon
+       retry after the next RTO, by when routes may have reconverged *)
+    entry.if_queued <- entry.if_queued - 1
 
 (* Retransmit daemon: one system thread per windowed channel.  Only the
    head of the window is retransmitted — cumulative acks mean a head
@@ -399,10 +410,24 @@ let stop_and_wait_send (ctx : Ctx.t) t ~dst_cab ~dst_port msg =
             "rmp.retx"
         end;
         incr queued;
-        Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_rmp ~msg
-          ~on_done:(fun ctx _ ->
+        (try
+           Datalink.output ctx t.dl ~dst_cab ~proto:Wire.proto_rmp ~msg
+             ~on_done:(fun ctx _ ->
+               decr queued;
+               release ctx)
+         with
+        | Router.Route_down _ ->
+            (* refused before the wire (blackout window): wait out the RTO
+               exactly like a frame lost on the wire, then retry — by then
+               the routes may have reconverged onto an alternate path *)
+            decr queued
+        | Router.No_route _ as e ->
+            (* statically partitioned: no amount of retrying helps;
+               surface the typed error with the buffer reclaimed *)
             decr queued;
-            release ctx);
+            sender_done := true;
+            release ctx;
+            raise e);
         let rec await () =
           if c.acked >= seq then ()
           else
@@ -481,6 +506,7 @@ let send_string ctx t ~dst_cab ~dst_port s =
   send ctx t ~dst_cab ~dst_port msg
 
 let window t = t.window
+let rto t = t.rto
 let delivered t = t.delivered_count
 let duplicates t = t.dup_count
 let retransmits t = t.retx_count

@@ -69,6 +69,12 @@ val send_string :
   Nectar_core.Ctx.t -> t -> dst_cab:int -> dst_port:int -> string -> unit
 
 val window : t -> int
+
+val rto : t -> Nectar_sim.Sim_time.span
+(** The retransmission interval: the interval between send (or previous
+    retransmission) and the next retry while unacknowledged.  Failover
+    campaigns use it to bound the blackout window. *)
+
 val delivered : t -> int
 val duplicates : t -> int
 val retransmits : t -> int

@@ -1,5 +1,6 @@
 type t = {
   rt : Nectar_core.Runtime.t;
+  router : Nectar_route.Router.t;
   dl : Datalink.t;
   ip : Ipv4.t;
   icmp : Icmp.t;
@@ -11,8 +12,17 @@ type t = {
 }
 
 let create rt ?(tcp_checksum = true) ?(udp_checksum = true) ?mtu ?tcp_mss
-    ?tcp_input_mode ?rpc_rto ?rpc_retries ?rmp_window ?rmp_ack_delay () =
-  let dl = Datalink.create rt in
+    ?tcp_input_mode ?rpc_rto ?rpc_retries ?rmp_window ?rmp_ack_delay ?router
+    ?route_policy ?route_detection_ns ?route_recompute_ns () =
+  let router =
+    match router with
+    | Some r -> r
+    | None ->
+        Nectar_route.Router.create ?policy:route_policy
+          ?detection_ns:route_detection_ns ?recompute_ns:route_recompute_ns
+          (Nectar_cab.Cab.network (Nectar_core.Runtime.cab rt))
+  in
+  let dl = Datalink.create ~router rt in
   let ip = Ipv4.create dl ?mtu () in
   let icmp = Icmp.create ip in
   let udp = Udp.create ip ~checksum:udp_checksum ~icmp () in
@@ -23,7 +33,7 @@ let create rt ?(tcp_checksum = true) ?(udp_checksum = true) ?mtu ?tcp_mss
   let dgram = Dgram.create dl in
   let rmp = Rmp.create dl ?window:rmp_window ?ack_delay:rmp_ack_delay () in
   let reqresp = Reqresp.create dl ?rto:rpc_rto ?max_retries:rpc_retries () in
-  { rt; dl; ip; icmp; udp; tcp; dgram; rmp; reqresp }
+  { rt; router; dl; ip; icmp; udp; tcp; dgram; rmp; reqresp }
 
 let node_id t = Nectar_core.Runtime.node_id t.rt
 let addr t = Ipv4.local_addr t.ip
@@ -32,6 +42,7 @@ let register_metrics t reg =
   let cab = Nectar_core.Runtime.cab t.rt in
   let prefix = Nectar_cab.Cab.name cab ^ "." in
   Datalink.register_metrics t.dl reg ~prefix;
+  Nectar_route.Router.register_metrics t.router reg ~prefix;
   Rmp.register_metrics t.rmp reg ~prefix;
   Reqresp.register_metrics t.reqresp reg ~prefix;
   Tcp.register_metrics t.tcp reg ~prefix;

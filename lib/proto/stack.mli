@@ -4,6 +4,7 @@
 
 type t = {
   rt : Nectar_core.Runtime.t;
+  router : Nectar_route.Router.t;
   dl : Datalink.t;
   ip : Ipv4.t;
   icmp : Icmp.t;
@@ -25,10 +26,19 @@ val create :
   ?rpc_retries:int ->
   ?rmp_window:int ->
   ?rmp_ack_delay:Nectar_sim.Sim_time.span ->
+  ?router:Nectar_route.Router.t ->
+  ?route_policy:Nectar_route.Policy.t ->
+  ?route_detection_ns:Nectar_sim.Sim_time.span ->
+  ?route_recompute_ns:Nectar_sim.Sim_time.span ->
   unit ->
   t
 (** [rmp_window]/[rmp_ack_delay] select the beyond-the-paper sliding-window
-    RMP (see {!Rmp.create}); the defaults keep the paper's stop-and-wait. *)
+    RMP (see {!Rmp.create}); the defaults keep the paper's stop-and-wait.
+
+    [router] shares an existing route database across stacks; otherwise a
+    private one is built from [route_policy] (default: empty policy —
+    plain shortest path, byte-identical to [Network.route]) with the
+    given detection/recompute lags (see {!Nectar_route.Router.create}). *)
 
 val node_id : t -> int
 val addr : t -> Ipv4.addr

@@ -1,0 +1,74 @@
+type predicate =
+  | Any
+  | Src of int
+  | Dst of int
+  | Proto of int
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+
+type preference =
+  | Shortest
+  | Avoid_hubs of int list
+  | Avoid_links of (int * int) list
+  | Static of int list
+
+type rule = { where : predicate; prefer : preference list; ecmp : bool }
+
+type t = rule list
+
+let default = []
+
+let rule_shortest = { where = Any; prefer = [ Shortest ]; ecmp = false }
+
+let rec matches p ~src ~dst ~proto =
+  match p with
+  | Any -> true
+  | Src s -> s = src
+  | Dst d -> d = dst
+  | Proto pr -> pr = proto
+  | And (a, b) -> matches a ~src ~dst ~proto && matches b ~src ~dst ~proto
+  | Or (a, b) -> matches a ~src ~dst ~proto || matches b ~src ~dst ~proto
+  | Not a -> not (matches a ~src ~dst ~proto)
+
+let rule_for t ~src ~dst ~proto =
+  match List.find_opt (fun r -> matches r.where ~src ~dst ~proto) t with
+  | Some r -> r
+  | None -> rule_shortest
+
+let rec predicate_to_string = function
+  | Any -> "any"
+  | Src s -> Printf.sprintf "src=%d" s
+  | Dst d -> Printf.sprintf "dst=%d" d
+  | Proto p -> Printf.sprintf "proto=%d" p
+  | And (a, b) ->
+      Printf.sprintf "(%s & %s)" (predicate_to_string a)
+        (predicate_to_string b)
+  | Or (a, b) ->
+      Printf.sprintf "(%s | %s)" (predicate_to_string a)
+        (predicate_to_string b)
+  | Not a -> Printf.sprintf "!%s" (predicate_to_string a)
+
+let preference_to_string = function
+  | Shortest -> "shortest"
+  | Avoid_hubs hs ->
+      Printf.sprintf "avoid-hubs[%s]"
+        (String.concat "," (List.map string_of_int hs))
+  | Avoid_links ls ->
+      Printf.sprintf "avoid-links[%s]"
+        (String.concat ","
+           (List.map (fun (h, p) -> Printf.sprintf "%d.%d" h p) ls))
+  | Static ps ->
+      Printf.sprintf "static[%s]"
+        (String.concat ";" (List.map string_of_int ps))
+
+let rule_to_string r =
+  Printf.sprintf "where %s prefer %s%s"
+    (predicate_to_string r.where)
+    (String.concat " > " (List.map preference_to_string r.prefer))
+    (if r.ecmp then " ecmp" else "")
+
+let to_string t =
+  match t with
+  | [] -> "(default: shortest)"
+  | rules -> String.concat "\n" (List.map rule_to_string rules)

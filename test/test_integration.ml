@@ -271,7 +271,8 @@ let test_tcp_small_window_flow_control () =
         let dgram = Dgram.create dl in
         let rmp = Rmp.create dl () in
         let reqresp = Reqresp.create dl () in
-        { Stack.rt; dl; ip; icmp; udp; tcp; dgram; rmp; reqresp })
+        let router = Datalink.router dl in
+        { Stack.rt; router; dl; ip; icmp; udp; tcp; dgram; rmp; reqresp })
       ~hub:0 ~port:1 ~name:"b"
   in
   let total = 64 * 1024 in
