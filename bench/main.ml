@@ -19,6 +19,8 @@ let experiments =
     ("failover", Failover.run);
     ("perf", Perf.run ~smoke:false);
     ("perf-smoke", Perf.run ~smoke:true);
+    ("scaling", Scaling.run ~smoke:false);
+    ("scaling-smoke", Scaling.run ~smoke:true);
   ]
 
 let () =

@@ -310,7 +310,7 @@ let json_of ~engine_ns ~cancel_ns ~fig7_wall_ms ~sweep ~size
     ~(fleet_off : float * int * int) ~(fleet_on : float * int * int)
     ~fleet_cfg ~copy_size
     ~(rmp_copies : int * int * float) ~(tcp_copies : int * int)
-    ~(fo : Failover.result) =
+    ~(fo : Failover.result) ~scaling =
   let b = Buffer.create 1024 in
   let senders, fcount, fsize, coal_us = fleet_cfg in
   let off_t, off_got, off_b = fleet_off in
@@ -364,6 +364,8 @@ let json_of ~engine_ns ~cancel_ns ~fig7_wall_ms ~sweep ~size
      \"pre_zerocopy_per_segment\": %d }\n\
     \  }\n"
     copy_size rmp_after rmp_before reduction tcp_after tcp_before;
+  Buffer.add_string b ",\n";
+  Buffer.add_string b scaling;
   Buffer.add_string b ",\n";
   Printf.bprintf b
     "  \"failover\": {\n\
@@ -487,6 +489,11 @@ let run ?(smoke = false) () =
          fo.Failover.blackout_p50_us fo.Failover.blackout_p99_us)
       (Float.round fo.Failover.blackout_p50_us = 40.
       && Float.round fo.Failover.blackout_p99_us = 5093.);
+  (* Parallel-engine scaling: deterministic delivery/conservation/
+     determinism gates run in both modes (the smoke form is 2 domains);
+     wall-clock speedup is recorded, and asserted only on >= 4 cores. *)
+  let scaling = Scaling.measure ~smoke ~check () in
+  Scaling.print scaling;
   if not smoke then begin
     let engine_ns = time_ns engine_1k_events in
     let cancel_ns = time_ns engine_schedule_cancel in
@@ -509,6 +516,7 @@ let run ?(smoke = false) () =
         ~fleet_off ~fleet_on
         ~fleet_cfg:(senders, fcount, fsize, coal_us)
         ~copy_size:size ~rmp_copies ~tcp_copies ~fo
+        ~scaling:(Scaling.json_fragment scaling)
     in
     let oc = open_out "BENCH_perf.json" in
     output_string oc js;

@@ -855,6 +855,18 @@ let run_route_verify ~hubs =
       gate (Printf.sprintf "default policy verifies on the %s" name) errs
         (errs = []))
     [ ("chain", false); ("ring", true) ];
+  (* the multipath shapes: wrap trunks (torus) and parallel two-hop
+     spines (fat tree) must verify just like the degenerate chains *)
+  List.iter
+    (fun (name, w) ->
+      let errs = Router.verify w.Chaos.stacks.(0).Stack.router in
+      gate (Printf.sprintf "default policy verifies on the %s" name) errs
+        (errs = []))
+    [
+      ("3x3 torus", Chaos.build_torus ~rows:3 ~cols:3 ~at:[ (0, 2); (4, 2) ] ());
+      ( "4-leaf fat tree",
+        Chaos.build_fat_tree ~leaves:4 ~spines:2 ~at:[ (0, 2); (3, 2) ] () );
+    ];
   let w = route_world ~ring:true ~hubs:4 in
   let a = Stack.node_id w.Chaos.stacks.(0)
   and b = Stack.node_id w.Chaos.stacks.(1) in

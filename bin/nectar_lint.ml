@@ -23,6 +23,18 @@
      and lib/hub — transports go through Router.lookup so routing policy
      and live link state apply (a "[Network.route]" doc reference is not
      flagged);
+   - no mutable toplevel state in lib/sim or lib/core outside the
+     whitelisted boundary modules: a column-0 [let x = ref ...] (or
+     Atomic.make / Hashtbl.create / Array.make / Queue.create /
+     Buffer.create / Bytes.create / Domain.DLS.new_key) is shared by
+     every domain that touches the module, which breaks the parallel
+     engine's domain-isolation contract (lib/check audits it at heap
+     level; this rule catches it at review time).  The whitelist holds
+     the modules whose sharing is the sanctioned boundary: engine
+     (atomic pid counter), trace (domain-local DLS key), the vet hook
+     registries, and the atomic uid counters.  Value bindings only —
+     [let f args = ... Queue.create ...] constructs per-instance state
+     and is fine;
    - every .ml under lib/ has a corresponding .mli.
 
    Exits 1 when anything is flagged.  The pattern strings below are built
@@ -64,7 +76,33 @@ let pat_stdout_printers =
 
 let pats_net_route = [ "Network." ^ "route"; "Net." ^ "route" ]
 
+(* qualified constructors matched by substring; the bare [ref] needs
+   identifier boundaries *)
+let pat_ref = "re" ^ "f"
+
+let pats_mutable_ctors =
+  [
+    "Atomic." ^ "make";
+    "Hashtbl." ^ "create";
+    "Array." ^ "make";
+    "Queue." ^ "create";
+    "Buffer." ^ "create";
+    "Bytes." ^ "create";
+    "Domain.DLS." ^ "new_key";
+  ]
+
 let no_failwith_dirs = [ "lib/core"; "lib/proto" ]
+let no_toplevel_mutable_dirs = [ "lib/sim"; "lib/core" ]
+
+let toplevel_mutable_whitelist =
+  [
+    "lib/sim/engine.ml";
+    "lib/sim/trace.ml";
+    "lib/sim/vet_probe.ml";
+    "lib/core/vet_hook.ml";
+    "lib/core/buffer_heap.ml";
+    "lib/core/message.ml";
+  ]
 let route_allowed_dirs = [ "lib/route"; "lib/hub" ]
 let no_poly_compare_dirs = [ "lib/sim"; "lib/core" ]
 let obj_allowed_dir = "lib/check"
@@ -102,6 +140,30 @@ let contains_bare_word line word =
   in
   nw > 0 && at 0
 
+(* A column-0 [let x = rhs] (or [let x : ty = rhs], [let rec x = rhs])
+   binding a plain value — no parameters — returns [Some rhs].  A
+   function definition, an indented binding, or a let without [=] on
+   the same line returns [None]. *)
+let toplevel_value_rhs line =
+  if not (has_prefix "let " line) then None
+  else
+    match String.index_opt line '=' with
+    | None -> None
+    | Some eq -> (
+        let head = String.sub line 4 (eq - 4) in
+        let head =
+          match String.index_opt head ':' with
+          | Some c -> String.sub head 0 c
+          | None -> head
+        in
+        let toks =
+          String.split_on_char ' ' head |> List.filter (fun s -> s <> "")
+        in
+        match toks with
+        | [ _ ] | [ "rec"; _ ] ->
+            Some (String.sub line (eq + 1) (String.length line - eq - 1))
+        | _ -> None)
+
 let read_lines path =
   let ic = open_in_bin path in
   let rec go acc =
@@ -129,6 +191,11 @@ let check_source path =
     has_prefix (mli_required_dir ^ "/") path
     && not
          (List.exists (fun d -> has_prefix (d ^ "/") path) route_allowed_dirs)
+  in
+  let toplevel_mutable_banned =
+    Filename.check_suffix path ".ml"
+    && List.exists (fun d -> has_prefix (d ^ "/") path) no_toplevel_mutable_dirs
+    && not (List.mem path toplevel_mutable_whitelist)
   in
   let base = Filename.basename path in
   let stdout_banned =
@@ -178,6 +245,19 @@ let check_source path =
                ^ " outside lib/route: go through Router.lookup so routing \
                   policy and live link state apply"))
           pats_net_route;
+      if toplevel_mutable_banned then
+        (match toplevel_value_rhs line with
+        | None -> ()
+        | Some rhs ->
+            let hit =
+              List.exists (fun pat -> contains rhs pat) pats_mutable_ctors
+              || contains_bare_word rhs pat_ref
+            in
+            if hit then
+              flag path ln
+                ("mutable toplevel state: shared by every domain that \
+                  touches this module — make it per-instance, or whitelist \
+                  the module as a sanctioned domain boundary"));
       if failwith_banned && contains line pat_failwith then
         flag path ln
           (pat_failwith

@@ -4,7 +4,9 @@
 # then the seeded chaos campaigns, the model-checking gate (schedule
 # explorer over the seeded-bug suite plus the node-isolation audit),
 # the failover gate (route-policy verifier plus the bounded-blackout
-# ring flap campaign), the perf-harness smoke (its
+# ring flap campaign), the parallel-engine gate (2-domain scaling
+# smoke with built-in determinism double-run, plus the heap-level
+# isolation audit of a partitioned world), the perf-harness smoke (its
 # assertions are deterministic delivery/batch counts, exact zero-copy
 # byte counters, and the recorded BENCH_perf.json throughputs with
 # tracing compiled in but disabled — wall-clock numbers are never
@@ -18,5 +20,6 @@ dune build @vet
 dune build @chaos
 dune build @check
 dune build @failover
+dune build @parallel
 dune exec bench/main.exe -- perf-smoke
 dune exec bin/nectar_cli.exe -- trace --check --out /tmp/nectar_trace_ci.json

@@ -92,6 +92,75 @@ let build_ring ~hubs ~at ?stack_opts () =
   in
   { eng; net; stacks; drivers = [] }
 
+(* Shared seat-attachment tail of the explicit-topology builders. *)
+let seat_stacks eng net ~at ~stack_opts =
+  let stacks =
+    Array.of_list
+      (List.mapi
+         (fun i (hub, port) ->
+           let cab =
+             Cab.create net ~hub ~port ~name:(Printf.sprintf "cab-%d" i)
+           in
+           let rt = Runtime.create cab in
+           match stack_opts with Some f -> f rt | None -> Stack.create rt ())
+         at)
+  in
+  { eng; net; stacks; drivers = [] }
+
+(* A [rows] x [cols] wrapped grid: hub (r, c) is index r*cols + c; east
+   trunks leave on port 15 into the eastern neighbour's 14, south trunks
+   on 13 into the southern neighbour's 12.  Node seats must use ports
+   below 12.  The torus is the scaling-bench fleet shape: constant
+   degree, diameter (rows + cols) / 2, and clean contiguous-block
+   partitions for the parallel engine. *)
+let build_torus ~rows ~cols ~at ?stack_opts () =
+  if rows < 2 || cols < 2 then
+    invalid_arg "Chaos.build_torus: need rows >= 2 and cols >= 2";
+  List.iter
+    (fun (_, p) ->
+      if p >= 12 then
+        invalid_arg "Chaos.build_torus: node seats must use ports < 12")
+    at;
+  let eng = Engine.create () in
+  let net = Net.create eng ~hubs:(rows * cols) () in
+  let idx r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Net.connect_hubs net (idx r c, 15) (idx r ((c + 1) mod cols), 14);
+      Net.connect_hubs net (idx r c, 13) (idx ((r + 1) mod rows) c, 12)
+    done
+  done;
+  seat_stacks eng net ~at ~stack_opts
+
+(* A two-level fat tree: [leaves] edge HUBs (indices 0 .. leaves-1) each
+   linked to all [spines] core HUBs (indices leaves .. leaves+spines-1);
+   leaf l's uplink to spine s leaves on port (15 - s) into spine port
+   (15 - l).  Node seats sit on leaf hubs below the uplink band.  Any
+   leaf pair has [spines] two-hop paths — the multipath shape the route
+   verifier's disjointness checks want. *)
+let build_fat_tree ~leaves ~spines ~at ?stack_opts () =
+  if leaves < 2 then invalid_arg "Chaos.build_fat_tree: need >= 2 leaves";
+  if spines < 1 then invalid_arg "Chaos.build_fat_tree: need >= 1 spine";
+  if leaves > 16 then
+    invalid_arg "Chaos.build_fat_tree: a spine has only 16 ports";
+  if spines > 14 then
+    invalid_arg "Chaos.build_fat_tree: leaf uplinks would fill every port";
+  List.iter
+    (fun (hub, p) ->
+      if hub >= leaves then
+        invalid_arg "Chaos.build_fat_tree: node seats belong on leaf hubs";
+      if p > 15 - spines then
+        invalid_arg "Chaos.build_fat_tree: node seat collides with uplinks")
+    at;
+  let eng = Engine.create () in
+  let net = Net.create eng ~hubs:(leaves + spines) () in
+  for l = 0 to leaves - 1 do
+    for s = 0 to spines - 1 do
+      Net.connect_hubs net (l, 15 - s) (leaves + s, 15 - l)
+    done
+  done;
+  seat_stacks eng net ~at ~stack_opts
+
 let add_host w i =
   let host = Host.create w.eng ~name:(Printf.sprintf "host-%d" i) in
   let drv = Cab_driver.attach host w.stacks.(i).Stack.rt in

@@ -72,6 +72,34 @@ val build_ring :
     campaigns and benches use, where one trunk outage forces a reroute
     instead of a partition. *)
 
+val build_torus :
+  rows:int ->
+  cols:int ->
+  at:(int * int) list ->
+  ?stack_opts:(Nectar_core.Runtime.t -> Nectar_proto.Stack.t) ->
+  unit ->
+  world
+(** A [rows] x [cols] (both >= 2) wrapped grid of HUBs; hub [(r, c)] is
+    index [r*cols + c], east trunks on ports 15->14, south trunks on
+    13->12, so node seats must use ports below 12.  Constant trunk
+    degree 4 — the scaling bench's fleet shape, partitioning into
+    contiguous row blocks with exactly [2*cols] boundary trunks per
+    cut. *)
+
+val build_fat_tree :
+  leaves:int ->
+  spines:int ->
+  at:(int * int) list ->
+  ?stack_opts:(Nectar_core.Runtime.t -> Nectar_proto.Stack.t) ->
+  unit ->
+  world
+(** A two-level fat tree: [leaves] edge HUBs (indices [0..leaves-1])
+    each trunked to all [spines] core HUBs (indices [leaves..]); leaf
+    [l] reaches spine [s] on port [15-s] (into spine port [15-l]).
+    Node seats must sit on leaf hubs at ports [<= 15-spines].  Every
+    leaf pair gets [spines] edge-disjoint two-hop paths — the
+    multipath fan the route verifier exercises. *)
+
 val add_host : world -> int -> Nectar_host.Cab_driver.t
 (** Attach a host to the CAB at stack index [i] (required before a
     [Vme_errors] step can name it). *)

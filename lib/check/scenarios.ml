@@ -718,6 +718,103 @@ let audit_world ~plant () =
     ~boundary:[ ("engine", Obj.repr eng); ("network", Obj.repr net) ]
     ~max_literal_bytes:64 ()
 
+(* Partitioned world: two single-hub partitions joined by one boundary
+   trunk each way, driven to global quiescence by the parallel scheduler
+   (both domains real, one frame crossing in each direction), then
+   audited with each partition's world record as a node root.
+
+   Whitelist, entry by entry:
+   - engine-0/engine-1: every engine's heap array is padded with the
+     module-level dummy-event record, so any two engines share it by
+     construction; the engines are per-partition by design and the
+     paddings carry no cross-domain information.
+   - send-0/send-1: each partition's remote-forward hook captures the
+     scheduler's send conduit, which closes over the SPSC channel matrix
+     and window bookkeeping — the one sanctioned synchronization point,
+     exactly what Parallel.run promises to confine sharing to.
+
+   The planted variant gives both partitions' sinks a slot in one shared
+   counter array (created outside the run): the audit must flag it. *)
+
+module Parallel = Nectar_sim.Parallel
+module Byte_fifo = Nectar_sim.Byte_fifo
+
+type part_world = {
+  pw_eng : Engine.t;
+  pw_net : Net.t;
+  mutable pw_delivered : int;
+}
+
+let audit_partitioned ~plant () =
+  let latency_ns = 5_000 in
+  let shared_counts = Array.make 2 0 in
+  let sends = Array.make 2 None in
+  let build ~self ~send =
+    sends.(self) <- Some send;
+    let eng = Engine.create () in
+    let net = Net.create eng ~hubs:1 () in
+    Net.connect_remote net (0, 13) ~link:(1 - self) ~latency_ns;
+    let w = { pw_eng = eng; pw_net = net; pw_delivered = 0 } in
+    let fifo =
+      Byte_fifo.create eng ~capacity:4096 ~name:(sprintf "part%d-in" self)
+    in
+    (* built apart so the clean variant's sink closure does not capture
+       the counter array at all *)
+    let planted_bump =
+      if plant then
+        Some (fun () -> shared_counts.(self) <- shared_counts.(self) + 1)
+      else None
+    in
+    let sink =
+      {
+        Net.in_fifo = fifo;
+        on_frame_start = (fun _ -> ());
+        on_chunk =
+          (fun frame ~arrived:_ ~last ->
+            if last then begin
+              ignore (Byte_fifo.try_pop fifo (Frame.length frame));
+              Frame.release frame;
+              w.pw_delivered <- w.pw_delivered + 1;
+              match planted_bump with Some f -> f () | None -> ()
+            end);
+      }
+    in
+    let local = Net.attach_node net ~hub:0 ~port:0 sink in
+    Engine.spawn eng ~name:(sprintf "part%d-src" self) (fun () ->
+        Engine.sleep eng ((self + 1) * 1_000);
+        let frame =
+          Frame.create ~id:(100 + self) ~src:self
+            ~data:(Bytes.make 256 'p')
+        in
+        (* port 13 crosses the boundary; the far partition finishes the
+           route at its own seat port 0 *)
+        Net.transmit net ~src:local ~route:[ 13; 0 ] frame);
+    Net.set_remote_forward net
+      (Some
+         (fun ~link ~at ~route ~src ~frame_id ~payload ->
+           send ~dst:link ~time:at (at, route, src, frame_id, payload)));
+    let ep_receive ~time ~src:_ (_, route, src, frame_id, payload) =
+      ignore
+        (Engine.at eng time (fun () ->
+             Net.inject net ~hub:0 ~src ~frame_id ~route payload))
+    in
+    ({ Parallel.ep_engine = eng; ep_receive }, w)
+  in
+  let out = Parallel.run ~lookahead:latency_ns ~domains:2 ~build () in
+  let w0 = out.Parallel.results.(0) and w1 = out.Parallel.results.(1) in
+  assert (w0.pw_delivered = 1 && w1.pw_delivered = 1);
+  let conduit i = Obj.repr (Option.get sends.(i)) in
+  Isolation.audit
+    ~nodes:[ ("part-0", [ Obj.repr w0 ]); ("part-1", [ Obj.repr w1 ]) ]
+    ~boundary:
+      [
+        ("engine-0", Obj.repr w0.pw_eng);
+        ("engine-1", Obj.repr w1.pw_eng);
+        ("send-0", conduit 0);
+        ("send-1", conduit 1);
+      ]
+    ~max_literal_bytes:64 ()
+
 let audits : audit_case list =
   [
     {
@@ -737,6 +834,20 @@ let audits : audit_case list =
       a_descr = "node b captures node a's 64 KB CAB memory";
       a_expect_shared = true;
       a_run = audit_world ~plant:`Mem_alias;
+    };
+    {
+      a_name = "partitioned-2dom";
+      a_descr =
+        "two real domains exchanging boundary frames: no shared mutable \
+         state outside the engine/conduit whitelist";
+      a_expect_shared = false;
+      a_run = audit_partitioned ~plant:false;
+    };
+    {
+      a_name = "planted-partition-alias";
+      a_descr = "both partitions' sinks write one counter array";
+      a_expect_shared = true;
+      a_run = audit_partitioned ~plant:true;
     };
   ]
 

@@ -21,7 +21,14 @@
     boundary whitelist (engine + network, literal strings up to 64 bytes
     exempt as compiler-interned constants); the two planted cases — a
     mutable ref captured by upcalls on both nodes, and node b holding
-    node a's CAB memory — must be reported. *)
+    node a's CAB memory — must be reported.
+
+    The partitioned cases audit an actual 2-domain [Parallel.run] world
+    after quiescence: clean behind per-partition engines plus the
+    scheduler's send conduits (the sanctioned cross-domain boundary),
+    and a planted counter array shared by both partitions' sinks must
+    be reported.  This is the go/no-go gate the parallel engine ships
+    behind, wired into ci.sh via the @parallel alias. *)
 
 val all : Explore.scenario list
 val find : string -> Explore.scenario option

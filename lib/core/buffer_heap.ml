@@ -15,13 +15,15 @@ type t = {
   mutable faulted : int;
 }
 
-let uid_counter = ref 0
+(* Atomic for the same reason as Message.uid_counter: heaps are born in
+   every partition's domain, uids must stay globally unique. *)
+let uid_counter = Atomic.make 0
 
 let create ~base ~size =
   if base < 0 || size <= 0 then invalid_arg "Buffer_heap.create";
-  incr uid_counter;
+  let uid = 1 + Atomic.fetch_and_add uid_counter 1 in
   {
-    uid = !uid_counter;
+    uid;
     base;
     size;
     free_list = [ (base, size) ];

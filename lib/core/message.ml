@@ -14,13 +14,16 @@ type t = {
   mutable on_disown : t -> unit;
 }
 
-let uid_counter = ref 0
+(* Atomic: messages are created inside every partition's domain under
+   the parallel engine; uids stay globally unique (the vet checkers key
+   on them) while the single-domain sequence is unchanged. *)
+let uid_counter = Atomic.make 0
 
 let make ~mem ~buf_off ~buf_len ~len ~free_buffer =
   if len < 0 || len > buf_len then invalid_arg "Message.make";
-  incr uid_counter;
+  let uid = 1 + Atomic.fetch_and_add uid_counter 1 in
   {
-    uid = !uid_counter;
+    uid;
     mem;
     buf_off;
     buf_len;
@@ -153,7 +156,7 @@ module Slice = struct
     mutable live : bool;
   }
 
-  let suid_counter = ref 0
+  let suid_counter = Atomic.make 0
 
   let check s op =
     if not s.live then begin
@@ -163,8 +166,8 @@ module Slice = struct
 
   let of_abs (src : msg) ~soff ~slen =
     retain src;
-    incr suid_counter;
-    let s = { suid = !suid_counter; src; soff; slen; live = true } in
+    let suid = 1 + Atomic.fetch_and_add suid_counter 1 in
+    let s = { suid; src; soff; slen; live = true } in
     Vet_hook.slice_make ~suid:s.suid ~uid:src.uid ~off:soff ~len:slen;
     s
 

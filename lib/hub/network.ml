@@ -10,12 +10,15 @@ type sink = {
 
 type fault_verdict = [ `Deliver | `Drop | `Corrupt | `Corrupt_burst of int ]
 
-type port_peer = Free | To_node of node_id | To_hub of int * int
+type port_peer = Free | To_node of node_id | To_hub of int * int | To_remote of int
 
 type port = {
   out_res : Resource.t;
   mutable peer : port_peer;
   mutable up : bool;
+  mutable remote_latency : int;
+      (* one-way latency of a partition-boundary fiber, ns; 0 unless
+         [peer = To_remote _] *)
 }
 
 type hub = { controller : Resource.t; ports : port array }
@@ -32,6 +35,15 @@ type t = {
   chunk : int;
   mutable fault : (Frame.t -> fault_verdict) option;
   mutable link_watchers : (hub:int -> port:int -> up:bool -> unit) list;
+  mutable remote_forward :
+    (link:int ->
+    at:Sim_time.t ->
+    route:int list ->
+    src:node_id ->
+    frame_id:int ->
+    payload:string ->
+    unit)
+    option;
   mutable frame_ids : int;
   frames : Stats.Counter.t;
   bytes : Stats.Counter.t;
@@ -39,6 +51,8 @@ type t = {
   fault_drops_count : Stats.Counter.t;
   corrupted : Stats.Counter.t;
   link_down_count : Stats.Counter.t;
+  remote_out : Stats.Counter.t;
+  remote_in : Stats.Counter.t;
 }
 
 let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
@@ -58,6 +72,7 @@ let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
                   ();
               peer = Free;
               up = true;
+              remote_latency = 0;
             });
     }
   in
@@ -71,6 +86,7 @@ let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
     chunk = chunk_bytes;
     fault = None;
     link_watchers = [];
+    remote_forward = None;
     frame_ids = 0;
     frames = Stats.Counter.create ();
     bytes = Stats.Counter.create ();
@@ -78,6 +94,8 @@ let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
     fault_drops_count = Stats.Counter.create ();
     corrupted = Stats.Counter.create ();
     link_down_count = Stats.Counter.create ();
+    remote_out = Stats.Counter.create ();
+    remote_in = Stats.Counter.create ();
   }
 
 let engine t = t.eng
@@ -100,6 +118,22 @@ let connect_hubs t (ha, pa) (hb, pb) =
   | _ -> invalid_arg "Network.connect_hubs: port already in use");
   a.peer <- To_hub (hb, pb);
   b.peer <- To_hub (ha, pa)
+
+(* A partition-boundary trunk: the far end of this port lives in another
+   partition's network, [latency_ns] away.  Frames routed into it are
+   serialized locally (the port is a real contended resource), then
+   handed whole to the [remote_forward] hook; [link] is an opaque id the
+   embedding layer uses to name the far-end hub. *)
+let connect_remote t (hub, p) ~link ~latency_ns =
+  if latency_ns <= 0 then
+    invalid_arg "Network.connect_remote: latency must be positive";
+  let port = port t hub p in
+  if port.peer <> Free then
+    invalid_arg "Network.connect_remote: port already in use";
+  port.peer <- To_remote link;
+  port.remote_latency <- latency_ns
+
+let set_remote_forward t hook = t.remote_forward <- hook
 
 let attach_node t ~hub ~port:p sink =
   let port = port t hub p in
@@ -136,7 +170,7 @@ let route t ~src ~dst =
             visited.(h2) <- true;
             prev.(h2) <- Some (h, pi);
             Queue.add h2 q
-        | To_hub _ | To_node _ | Free -> ())
+        | To_hub _ | To_node _ | Free | To_remote _ -> ())
       t.hubs.(h).ports
   done;
   if not visited.(dst_node.node_hub) then raise Not_found;
@@ -161,7 +195,14 @@ let node_attachment t id =
   let n = node t id in
   (n.node_hub, n.node_port)
 
-let resolve t ~src route_ports =
+(* Where a route ends: at a locally attached node, or at a boundary port
+   whose far end (and the rest of the route) belongs to another
+   partition's network. *)
+type route_target =
+  | Local of node_id
+  | Remote of { link : int; boundary : port; rest : int list }
+
+let resolve_from t ~hub route_ports =
   let rec walk hub_idx ports acc =
     match ports with
     | [] -> invalid_arg "Network.transmit: empty route"
@@ -172,10 +213,12 @@ let resolve t ~src route_ports =
         | To_node n ->
             if rest <> [] then
               invalid_arg "Network.transmit: route continues past a node";
-            (List.rev ((hub_idx, p) :: acc), n)
+            (List.rev ((hub_idx, p) :: acc), Local n)
+        | To_remote link ->
+            (List.rev ((hub_idx, p) :: acc), Remote { link; boundary = p; rest })
         | To_hub (h2, _) -> walk h2 rest ((hub_idx, p) :: acc))
   in
-  walk (node t src).node_hub route_ports []
+  walk hub route_ports []
 
 let on_link_change t f = t.link_watchers <- f :: t.link_watchers
 
@@ -216,6 +259,67 @@ let chunk_plan t ~header_bytes total =
   in
   plan 0 []
 
+(* Hold the circuit and stream: one controller command per HUB, every
+   output port held for the duration of the transfer, bytes at fiber
+   rate.  Shared by [transmit] (source side) and [inject] (continuation
+   of a frame that crossed a partition boundary). *)
+let run_circuit t ~hops ~target ~verdict ~header_bytes frame =
+  List.iter
+    (fun (h, p) ->
+      Resource.with_held t.hubs.(h).controller (fun () ->
+          Engine.sleep t.eng t.hub_setup_ns);
+      Resource.acquire p.out_res)
+    hops;
+  Engine.sleep t.eng (t.hop_latency_ns * List.length hops);
+  let total = Frame.length frame in
+  let header_bytes = min header_bytes total in
+  (match (verdict, target) with
+  | `Drop, _ ->
+      (* The frame crosses the wire but is never delivered (e.g. lost at the
+         far side, or blackholed by a downed link); wire time still passes,
+         and the sender-side buffer references die here — the receiving CAB
+         will never drain this frame, so the network is its last holder. *)
+      Engine.sleep t.eng (total * t.fiber_ns_per_byte);
+      Frame.release frame
+  | (`Deliver | `Corrupt | `Corrupt_burst _), Local dst ->
+      Stats.Counter.incr t.delivered;
+      let dst_sink = (node t dst).sink in
+      let arrived = ref 0 in
+      List.iter
+        (fun n ->
+          Engine.sleep t.eng (n * t.fiber_ns_per_byte);
+          Byte_fifo.push dst_sink.in_fifo n;
+          let first = !arrived = 0 in
+          arrived := !arrived + n;
+          if first then dst_sink.on_frame_start frame;
+          dst_sink.on_chunk frame ~arrived:!arrived ~last:(!arrived = total))
+        (chunk_plan t ~header_bytes total)
+  | (`Deliver | `Corrupt | `Corrupt_burst _), Remote { link; boundary; rest }
+    ->
+      (* Serialize onto the boundary fiber, then hand the whole frame to
+         the far partition: a partition-boundary trunk is store-and-
+         forward with a fixed latency, not a cut-through circuit — the
+         far side re-acquires its own hops when the frame arrives.  The
+         payload snapshot is the one sanctioned copy across domains; the
+         local frame's life ends here (the network is its last local
+         holder). *)
+      Engine.sleep t.eng (total * t.fiber_ns_per_byte);
+      let payload = Bytes.create total in
+      Frame.blit frame ~pos:0 ~dst:payload ~dst_pos:0 ~len:total;
+      let fid = frame.Frame.id and fsrc = frame.Frame.src in
+      Frame.release frame;
+      Stats.Counter.incr t.remote_out;
+      (match t.remote_forward with
+      | Some hook ->
+          hook ~link
+            ~at:(Engine.now t.eng + boundary.remote_latency)
+            ~route:rest ~src:fsrc ~frame_id:fid
+            ~payload:(Bytes.unsafe_to_string payload)
+      | None ->
+          invalid_arg
+            "Network: frame reached a remote link with no forward hook"));
+  List.iter (fun (_, p) -> Resource.release p.out_res) (List.rev hops)
+
 let transmit ?(header_bytes = 32) t ~src ~route:route_ports frame =
   let tid = Trace.span_begin ~track:"net" "wire" in
   let verdict =
@@ -229,8 +333,8 @@ let transmit ?(header_bytes = 32) t ~src ~route:route_ports frame =
       Stats.Counter.incr t.corrupted;
       Frame.corrupt ~burst:k frame
   | `Deliver | `Drop -> ());
-  let hops, dst = resolve t ~src route_ports in
   let src_node = node t src in
+  let hops, target = resolve_from t ~hub:src_node.node_hub route_ports in
   let link_down =
     (not (port t src_node.node_hub src_node.node_port).up)
     || List.exists (fun (_, p) -> not p.up) hops
@@ -238,42 +342,32 @@ let transmit ?(header_bytes = 32) t ~src ~route:route_ports frame =
   let verdict = if link_down then `Drop else verdict in
   if link_down then Stats.Counter.incr t.link_down_count
   else if verdict = `Drop then Stats.Counter.incr t.fault_drops_count;
-  let dst_sink = (node t dst).sink in
-  (* Connection setup: one controller command per HUB, then hold the output
-     port for the duration of the transfer (circuit). *)
-  List.iter
-    (fun (h, p) ->
-      Resource.with_held t.hubs.(h).controller (fun () ->
-          Engine.sleep t.eng t.hub_setup_ns);
-      Resource.acquire p.out_res)
-    hops;
-  Engine.sleep t.eng (t.hop_latency_ns * List.length hops);
   let total = Frame.length frame in
-  let header_bytes = min header_bytes total in
-  (match verdict with
-  | `Drop ->
-      (* The frame crosses the wire but is never delivered (e.g. lost at the
-         far side, or blackholed by a downed link); wire time still passes,
-         and the sender-side buffer references die here — the receiving CAB
-         will never drain this frame, so the network is its last holder. *)
-      Engine.sleep t.eng (total * t.fiber_ns_per_byte);
-      Frame.release frame
-  | `Deliver | `Corrupt | `Corrupt_burst _ ->
-      Stats.Counter.incr t.delivered;
-      let arrived = ref 0 in
-      List.iter
-        (fun n ->
-          Engine.sleep t.eng (n * t.fiber_ns_per_byte);
-          Byte_fifo.push dst_sink.in_fifo n;
-          let first = !arrived = 0 in
-          arrived := !arrived + n;
-          if first then dst_sink.on_frame_start frame;
-          dst_sink.on_chunk frame ~arrived:!arrived ~last:(!arrived = total))
-        (chunk_plan t ~header_bytes total));
-  List.iter (fun (_, p) -> Resource.release p.out_res) (List.rev hops);
+  run_circuit t ~hops ~target ~verdict ~header_bytes frame;
   Stats.Counter.incr t.frames;
   Stats.Counter.add t.bytes total;
   Trace.span_end tid
+
+(* Continue a frame that crossed a partition boundary: rebuild it from
+   the payload snapshot and deliver along the remainder of its source
+   route, from the entry hub, under this partition's contention.  Runs
+   as a fresh process (it blocks on controllers, ports and the
+   destination FIFO exactly like a source-side transfer). *)
+let inject ?(header_bytes = 32) t ~hub ~src ~frame_id ~route:route_ports
+    payload =
+  if hub < 0 || hub >= Array.length t.hubs then
+    invalid_arg "Network.inject: bad entry hub";
+  if route_ports = [] then invalid_arg "Network.inject: empty route";
+  Stats.Counter.incr t.remote_in;
+  Engine.spawn t.eng ~name:"net.inject" (fun () ->
+      let tid = Trace.span_begin ~track:"net" "wire" in
+      let frame = Frame.create ~id:frame_id ~src ~data:(Bytes.of_string payload) in
+      let hops, target = resolve_from t ~hub route_ports in
+      let link_down = List.exists (fun (_, p) -> not p.up) hops in
+      let verdict = if link_down then `Drop else `Deliver in
+      if link_down then Stats.Counter.incr t.link_down_count;
+      run_circuit t ~hops ~target ~verdict ~header_bytes frame;
+      Trace.span_end tid)
 
 let set_fault_hook t hook = t.fault <- hook
 
@@ -288,6 +382,8 @@ let frames_delivered t = Stats.Counter.value t.delivered
 let fault_drops t = Stats.Counter.value t.fault_drops_count
 let frames_corrupted t = Stats.Counter.value t.corrupted
 let link_down_drops t = Stats.Counter.value t.link_down_count
+let remote_handoffs t = Stats.Counter.value t.remote_out
+let remote_injections t = Stats.Counter.value t.remote_in
 
 let register_metrics t reg ~prefix =
   let c name read = Nectar_util.Metrics.counter reg (prefix ^ name) read in
@@ -296,4 +392,6 @@ let register_metrics t reg ~prefix =
   c "net.frames_delivered" (fun () -> frames_delivered t);
   c "net.fault_drops" (fun () -> fault_drops t);
   c "net.frames_corrupted" (fun () -> frames_corrupted t);
-  c "net.link_down_drops" (fun () -> link_down_drops t)
+  c "net.link_down_drops" (fun () -> link_down_drops t);
+  c "net.remote_handoffs" (fun () -> remote_handoffs t);
+  c "net.remote_injections" (fun () -> remote_injections t)

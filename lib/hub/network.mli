@@ -54,6 +54,67 @@ val connect_hubs : t -> int * int -> int * int -> unit
 (** [connect_hubs t (hub_a, port_a) (hub_b, port_b)] joins two HUBs with a
     bidirectional fiber pair. *)
 
+(** {1 Partition boundaries}
+
+    Under the parallel engine (lib/sim Parallel) a topology is split
+    across several networks, one per domain; a trunk whose two ends land
+    in different partitions becomes a {e remote link}: each half is a
+    [connect_remote] port carrying an opaque [link] id, and the frame's
+    journey is split in two.  The sending side runs [transmit] as usual
+    up to the boundary port, serializes the frame, then calls the
+    installed {!set_remote_forward} hook with a payload snapshot — an
+    immutable string, the one sanctioned cross-domain copy — plus the
+    remainder of the source route.  The receiving side calls {!inject},
+    which rebuilds the frame and finishes delivery from the entry hub
+    under that partition's own contention.
+
+    A remote trunk is store-and-forward with a fixed [latency_ns]
+    (the parallel scheduler's lookahead must be <= the minimum such
+    latency), unlike the cut-through local circuit.  One modelling
+    limitation, by design: the sender-side CRC snapshot does not travel
+    with the payload, so corruption verdicts applied before a boundary
+    are not observable by the final receiver — chaos campaigns that
+    exercise corruption pin their tables on single-partition worlds. *)
+
+val connect_remote : t -> int * int -> link:int -> latency_ns:int -> unit
+(** [connect_remote t (hub, port) ~link ~latency_ns] marks a port as the
+    local half of a partition-boundary trunk.  [link] identifies the
+    trunk to the forward hook; [latency_ns] (positive) is the one-way
+    boundary latency added to the hand-off timestamp. *)
+
+val set_remote_forward :
+  t ->
+  (link:int ->
+  at:Nectar_sim.Sim_time.t ->
+  route:int list ->
+  src:node_id ->
+  frame_id:int ->
+  payload:string ->
+  unit)
+  option ->
+  unit
+(** Install the boundary hand-off hook (the parallel harness wires this
+    to [Parallel]'s [send]).  [at] is the simulated arrival time at the
+    far side; [route] is the not-yet-walked tail of the source route,
+    to be resolved from the far half's hub.  A frame reaching a remote
+    port with no hook installed raises [Invalid_argument]. *)
+
+val inject :
+  ?header_bytes:int ->
+  t ->
+  hub:int ->
+  src:node_id ->
+  frame_id:int ->
+  route:int list ->
+  string ->
+  unit
+(** Continue a frame that crossed a partition boundary: rebuild it from
+    the payload snapshot and deliver along [route] starting at the entry
+    [hub].  Spawns its own process (call it from a timer at the hand-off
+    [at] time); [src] and [frame_id] are the sender-partition values, so
+    traces and dedup keys survive the crossing.  The route may cross a
+    further remote port — multi-partition paths chain hand-offs. *)
+
 val attach_node : t -> hub:int -> port:int -> sink -> node_id
 (** Attach a CAB to a HUB port; returns its node id (dense, from 0). *)
 
@@ -73,9 +134,15 @@ val route_opt : t -> src:node_id -> dst:node_id -> int list option
     Read-only accessors used by the routing-policy compiler (lib/route) to
     enumerate paths itself rather than going through {!route}. *)
 
-type port_peer = Free | To_node of node_id | To_hub of int * int
+type port_peer =
+  | Free
+  | To_node of node_id
+  | To_hub of int * int
+  | To_remote of int
 (** What the far end of a HUB port is wired to: nothing, a node's
-    attachment fiber, or [(hub, port)] of the peer HUB. *)
+    attachment fiber, [(hub, port)] of the peer HUB, or — under the
+    parallel engine — a trunk whose far end lives in another partition's
+    network, identified by an opaque link id (see {!connect_remote}). *)
 
 val hub_count : t -> int
 val ports_per_hub : t -> int
@@ -131,8 +198,12 @@ val next_frame_id : t -> int
 
 (** {1 Wire accounting}
 
-    Conservation invariant (asserted by the chaos campaigns):
-    [frames_sent = frames_delivered + fault_drops + link_down_drops]. *)
+    Conservation invariant (asserted by the chaos campaigns), per
+    network: [frames_sent + remote_injections
+    = frames_delivered + fault_drops + link_down_drops
+      + remote_handoffs].
+    On a single-partition world the remote terms are zero and this is
+    the original invariant. *)
 
 val frames_sent : t -> int
 val bytes_sent : t -> int
@@ -140,6 +211,12 @@ val frames_delivered : t -> int
 val fault_drops : t -> int
 val frames_corrupted : t -> int
 val link_down_drops : t -> int
+
+val remote_handoffs : t -> int
+(** Frames that left this partition through a remote port. *)
+
+val remote_injections : t -> int
+(** Frames that entered this partition via {!inject}. *)
 
 val register_metrics : t -> Nectar_util.Metrics.t -> prefix:string -> unit
 (** Register the wire accounting counters as [<prefix>net.*]. *)

@@ -91,7 +91,7 @@ let enumerate t ~src ~dst ~avoid_hubs ~avoid_links ~cap =
         | Net.To_hub (h2, _) when dist.(h2) = max_int && edge_ok h pi h2 ->
             dist.(h2) <- dist.(h) + 1;
             Queue.add h2 q
-        | Net.To_hub _ | Net.To_node _ | Net.Free -> ()
+        | Net.To_hub _ | Net.To_node _ | Net.Free | Net.To_remote _ -> ()
       done
     done;
     if dist.(dst_hub) = max_int then []
@@ -112,7 +112,7 @@ let enumerate t ~src ~dst ~avoid_hubs ~avoid_links ~cap =
                    && dist.(h2) <= dist.(dst_hub)
                    && edge_ok h pi h2 ->
                 go h2 (pi :: path_rev)
-            | Net.To_hub _ | Net.To_node _ | Net.Free -> ()
+            | Net.To_hub _ | Net.To_node _ | Net.Free | Net.To_remote _ -> ()
           done
       in
       go src_hub [];
@@ -141,6 +141,11 @@ let walk_route t ~src ~dst ports =
               else if n <> dst then
                 Error (Printf.sprintf "route ends at node %d, not %d" n dst)
               else Ok (List.rev ((h, pi) :: acc))
+          | Net.To_remote _ ->
+              (* The router is per-partition: a verified policy never
+                 routes through a boundary trunk; cross-partition paths
+                 are the parallel harness's job. *)
+              Error "route crosses a partition boundary"
           | Net.To_hub (h2, _) -> walk h2 rest ((h, pi) :: acc))
   in
   match walk src_hub ports [] with

@@ -41,8 +41,11 @@ type t = {
 }
 
 (* Process ids are globally unique (not per engine) so checkers observing
-   several engines in one program never see a collision. *)
-let pid_counter = ref 0
+   several engines in one program never see a collision.  Atomic because
+   the parallel scheduler spawns processes from several domains at once;
+   on the single-domain path the counter behaves exactly as the old ref
+   (same values in the same order). *)
+let pid_counter = Atomic.make 0
 
 type timer = event
 
@@ -230,8 +233,7 @@ type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
 let suspend register = Effect.perform (Suspend register)
 
 let spawn t ?(name = "proc") f =
-  incr pid_counter;
-  let pid = !pid_counter in
+  let pid = 1 + Atomic.fetch_and_add pid_counter 1 in
   (* Every slice of this process's execution (initial body, each resumption)
      runs with [t.running] set to its identity; suspension returns normally
      through the effect handler, so the finally always restores. *)
@@ -394,6 +396,16 @@ let run ?until t =
 
 let pending_events t = t.size - !(t.dead)
 let queued_events t = t.size
+
+(* Peek the earliest live event without firing it.  Dead entries on top
+   of the heap are popped for free (exactly as the run loops would);
+   amortised against the cancels that created them. *)
+let next_event_time t =
+  while t.size > 0 && not t.heap.(0).live do
+    ignore (pop_top t);
+    decr t.dead
+  done;
+  if t.size = 0 then None else Some t.heap.(0).time
 
 (* Order-independent digest of the live pending set: heap-array order is an
    implementation accident, so per-event hashes are combined with addition.

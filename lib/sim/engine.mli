@@ -110,6 +110,12 @@ val run : ?until:Sim_time.t -> t -> unit
 val pending_events : t -> int
 (** Live (not-cancelled) events still scheduled.  O(1). *)
 
+val next_event_time : t -> Sim_time.t option
+(** Time of the earliest live pending event, without firing it — the
+    per-partition ingredient of the parallel scheduler's global
+    next-window computation.  Amortised O(1) (it pops already-cancelled
+    entries off the heap top, as the run loop would). *)
+
 val queued_events : t -> int
 (** Physical size of the event heap, including cancelled entries awaiting
     lazy removal.  The engine compacts when cancelled entries outnumber

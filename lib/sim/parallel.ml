@@ -1,0 +1,250 @@
+(* Conservative time-window parallel simulation over OCaml 5 domains.
+
+   Each partition owns a full Engine and all state built on it; nothing
+   mutable crosses partitions except the SPSC message channels and the
+   window bookkeeping in this module (the whitelisted boundary of the
+   isolation audit).  The classic conservative invariant makes windows
+   safe: a cross-partition message sent at local time [t] may arrive no
+   earlier than [t + lookahead], so if [gmin] is the globally earliest
+   unprocessed event, every event below [gmin + lookahead] can fire
+   without ever seeing a message from another partition's future.
+
+   One iteration, for every domain in lockstep:
+
+     barrier A   — all sends from the previous window are published
+     drain       — pop inbound channels, deliver in (time, src, fifo)
+                   order (deterministic for a fixed partitioning)
+     publish     — local earliest pending event time into an atomic slot
+     barrier B   — all slots published
+     gmin        — fold the slots; gmin = +inf means global quiescence
+     run         — Engine.run ~until:(gmin + lookahead - 1): strictly
+                   below the window end, so an event exactly at the
+                   boundary belongs to the next window
+
+   Determinism-modulo-partition: for a fixed partition count, seed and
+   channel capacity, every partition fires the same events at the same
+   simulated times in the same order regardless of how the domains
+   interleave in wall-clock — the only cross-domain inputs are the
+   drained message batches, and those are merged by (time, src, fifo
+   index), all three deterministic.  The double-run gates in the bench
+   and ci assert exactly this. *)
+
+type stats = { windows : int; crossed : int }
+
+type 'msg endpoint = {
+  ep_engine : Engine.t;
+  ep_receive : time:Sim_time.t -> src:int -> 'msg -> unit;
+}
+
+type 'res outcome = {
+  results : 'res array;
+  final_times : Sim_time.t array;
+  stats : stats;
+}
+
+exception
+  Lookahead_violation of {
+    src : int;
+    dst : int;
+    now : Sim_time.t;
+    time : Sim_time.t;
+    lookahead : Sim_time.span;
+  }
+
+exception Channel_full of { src : int; dst : int; capacity : int }
+
+let () =
+  Printexc.register_printer (function
+    | Lookahead_violation { src; dst; now; time; lookahead } ->
+        Some
+          (Printf.sprintf
+             "Parallel.Lookahead_violation(%d->%d at %d for %d, lookahead %d)"
+             src dst now time lookahead)
+    | Channel_full { src; dst; capacity } ->
+        Some
+          (Printf.sprintf "Parallel.Channel_full(%d->%d, capacity %d)" src dst
+             capacity)
+    | _ -> None)
+
+(* Sense-less phase barrier with abort: a domain that dies mid-window
+   must not leave the others blocked forever, so a failing worker aborts
+   the barrier and every current and future [wait] returns [false]. *)
+module Barrier = struct
+  type t = {
+    m : Mutex.t;
+    cv : Condition.t;
+    parties : int;
+    mutable count : int;
+    mutable phase : int;
+    mutable aborted : bool;
+  }
+
+  let create parties =
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      parties;
+      count = 0;
+      phase = 0;
+      aborted = false;
+    }
+
+  let abort b =
+    Mutex.lock b.m;
+    b.aborted <- true;
+    Condition.broadcast b.cv;
+    Mutex.unlock b.m
+
+  let wait b =
+    Mutex.lock b.m;
+    if b.aborted then begin
+      Mutex.unlock b.m;
+      false
+    end
+    else begin
+      b.count <- b.count + 1;
+      if b.count = b.parties then begin
+        b.count <- 0;
+        b.phase <- b.phase + 1;
+        Condition.broadcast b.cv;
+        Mutex.unlock b.m;
+        true
+      end
+      else begin
+        let ph = b.phase in
+        while b.phase = ph && not b.aborted do
+          Condition.wait b.cv b.m
+        done;
+        let ok = not b.aborted in
+        Mutex.unlock b.m;
+        ok
+      end
+    end
+end
+
+let no_event = max_int (* published "no pending event" sentinel *)
+
+let run ?(channel_capacity = 8192) ~lookahead ~domains ~build () =
+  if domains < 1 then invalid_arg "Parallel.run: need at least one domain";
+  if lookahead <= 0 then invalid_arg "Parallel.run: lookahead must be positive";
+  if domains = 1 then begin
+    (* Single-domain mode is the sequential engine, on exactly the code
+       path every paper table uses: no channels, no barriers, one
+       Engine.run to quiescence. *)
+    let send ~dst ~time:_ _ =
+      ignore dst;
+      invalid_arg "Parallel.send: cross-partition send with one partition"
+    in
+    let ep, res = build ~self:0 ~send in
+    Engine.run ep.ep_engine;
+    {
+      results = [| res |];
+      final_times = [| Engine.now ep.ep_engine |];
+      stats = { windows = 0; crossed = 0 };
+    }
+  end
+  else begin
+    let queues =
+      (* queues.(src).(dst): written only by domain [src], read only by
+         domain [dst] — the SPSC contract *)
+      Array.init domains (fun _ ->
+          Array.init domains (fun _ -> Spsc.create ~capacity:channel_capacity))
+    in
+    let next_times = Array.init domains (fun _ -> Atomic.make 0) in
+    let barrier = Barrier.create domains in
+    let crossed = Atomic.make 0 in
+    let window_count = Atomic.make 0 in
+    let results = Array.make domains None in
+    let finals = Array.make domains 0 in
+    let failures = Array.make domains None in
+    let worker self () =
+      try
+        let eng_ref = ref None in
+        let send ~dst ~time msg =
+          if dst < 0 || dst >= domains || dst = self then
+            invalid_arg "Parallel.send: bad destination partition";
+          (match !eng_ref with
+          | Some eng ->
+              let now = Engine.now eng in
+              if time < now + lookahead then
+                raise
+                  (Lookahead_violation { src = self; dst; now; time; lookahead })
+          | None -> ());
+          (try Spsc.push queues.(self).(dst) (time, msg)
+           with Spsc.Full ->
+             raise (Channel_full { src = self; dst; capacity = channel_capacity }));
+          Atomic.incr crossed
+        in
+        let ep, res = build ~self ~send in
+        eng_ref := Some ep.ep_engine;
+        let eng = ep.ep_engine in
+        let drain () =
+          let inbox = ref [] in
+          for src = 0 to domains - 1 do
+            if src <> self then begin
+              let k = ref 0 in
+              ignore
+                (Spsc.drain queues.(src).(self) (fun (time, msg) ->
+                     inbox := (time, src, !k, msg) :: !inbox;
+                     incr k))
+            end
+          done;
+          let sorted =
+            List.sort
+              (fun (t1, s1, k1, _) (t2, s2, k2, _) ->
+                if t1 <> t2 then Int.compare t1 t2
+                else if s1 <> s2 then Int.compare s1 s2
+                else Int.compare k1 k2)
+              !inbox
+          in
+          List.iter (fun (time, src, _, msg) -> ep.ep_receive ~time ~src msg) sorted
+        in
+        let rec loop w =
+          if not (Barrier.wait barrier) then w
+          else begin
+            drain ();
+            Atomic.set next_times.(self)
+              (match Engine.next_event_time eng with
+              | Some t -> t
+              | None -> no_event);
+            if not (Barrier.wait barrier) then w
+            else begin
+              let gmin = ref no_event in
+              for i = 0 to domains - 1 do
+                let t = Atomic.get next_times.(i) in
+                if t < !gmin then gmin := t
+              done;
+              if !gmin = no_event then w
+              else begin
+                Engine.run ~until:(!gmin + lookahead - 1) eng;
+                loop (w + 1)
+              end
+            end
+          end
+        in
+        let w = loop 0 in
+        results.(self) <- Some res;
+        finals.(self) <- Engine.now eng;
+        if self = 0 then Atomic.set window_count w
+      with e ->
+        failures.(self) <- Some e;
+        Barrier.abort barrier
+    in
+    let spawned =
+      Array.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
+    Array.iter Domain.join spawned;
+    Array.iter (function Some e -> raise e | None -> ()) failures;
+    {
+      results =
+        Array.map
+          (function
+            | Some r -> r
+            | None -> invalid_arg "Parallel.run: worker lost its result")
+          results;
+      final_times = finals;
+      stats =
+        { windows = Atomic.get window_count; crossed = Atomic.get crossed };
+    }
+  end

@@ -1,0 +1,85 @@
+(** Conservative time-window parallel simulation over OCaml 5 domains.
+
+    The node graph is partitioned; each partition builds its world
+    (engine, network, nodes — all domain-local) inside its own domain
+    and interacts with other partitions only through timestamped
+    messages carried by bounded {!Spsc} channels.  Synchronization is
+    the classic conservative window: with [lookahead] the minimum
+    cross-partition delivery latency, every event strictly below
+    [gmin + lookahead] (where [gmin] is the globally earliest pending
+    event) is safe to fire without further coordination, so the domains
+    run window-by-window, exchanging messages and a global minimum at
+    two barriers per window.
+
+    {b Single-domain mode} ([domains = 1]) is the sequential engine on
+    exactly the code path every paper table uses — no channels, no
+    barriers, one [Engine.run] — pinned byte-identical by the tests.
+
+    {b Determinism-modulo-partition}: for a fixed [domains], seed and
+    world, two runs fire the same events at the same simulated times
+    and end at the same final times, however the domains interleave in
+    wall clock; inbound messages are merged in (time, sending
+    partition, FIFO index) order, all deterministic. *)
+
+type stats = {
+  windows : int;  (** synchronization windows executed *)
+  crossed : int;  (** cross-partition messages carried *)
+}
+
+type 'msg endpoint = {
+  ep_engine : Engine.t;
+      (** the partition's private engine; {!run} drives it window by
+          window and reads its quiescence *)
+  ep_receive : time:Sim_time.t -> src:int -> 'msg -> unit;
+      (** inbound delivery, called between windows in the partition's
+          own domain, in deterministic order; must schedule local work
+          with [Engine.at ep_engine time] and not block *)
+}
+
+type 'res outcome = {
+  results : 'res array;  (** one per partition, in partition order *)
+  final_times : Sim_time.t array;
+      (** each partition's clock at global quiescence *)
+  stats : stats;
+}
+
+exception
+  Lookahead_violation of {
+    src : int;
+    dst : int;
+    now : Sim_time.t;
+    time : Sim_time.t;
+    lookahead : Sim_time.span;
+  }
+(** A partition tried to deliver below the lookahead horizon — the
+    window invariant would be unsound, so this is a hard error, not a
+    best-effort reordering. *)
+
+exception Channel_full of { src : int; dst : int; capacity : int }
+(** A bounded channel overflowed mid-window (see {!Spsc.Full}). *)
+
+val run :
+  ?channel_capacity:int ->
+  lookahead:Sim_time.span ->
+  domains:int ->
+  build:
+    (self:int ->
+    send:(dst:int -> time:Sim_time.t -> 'msg -> unit) ->
+    'msg endpoint * 'res) ->
+  unit ->
+  'res outcome
+(** [run ~lookahead ~domains ~build ()] spawns [domains - 1] extra
+    domains (partition 0 runs on the caller's), calls [build ~self
+    ~send] once inside each to construct that partition's world, and
+    drives all engines to global quiescence.
+
+    [send ~dst ~time msg] may be called at any point during a window
+    (from processes or timer callbacks of partition [self]); [time]
+    must be at least the partition's current time plus [lookahead], and
+    [dst] must be another partition.  [channel_capacity] (default 8192)
+    bounds each of the [domains * (domains - 1)] SPSC channels.
+
+    [build]'s ['res] is returned per partition — worlds built inside a
+    domain survive it, so callers can read counters (or audit heap
+    isolation) after the run.  If any partition raises, the windows are
+    aborted, every domain is joined, and the first failure re-raised. *)

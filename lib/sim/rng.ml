@@ -21,6 +21,19 @@ let split t =
   let seed = Int64.to_int (next64 t) in
   { state = Int64.of_int seed }
 
+(* Keyed stream derivation: [index] is folded into the campaign seed
+   through one splitmix finalizer round, so stream k is a pure function
+   of (seed, k) — never of how many streams were created before it, what
+   order they were created in, or which domain asked.  The parallel
+   engine keys streams by node id to make workloads independent of the
+   partition count. *)
+let stream ~seed ~index =
+  if index < 0 then invalid_arg "Rng.stream: negative index";
+  let t = { state = Int64.of_int seed } in
+  t.state <-
+    Int64.add t.state (Int64.mul golden (Int64.of_int (index + 1)));
+  { state = next64 t }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int";
   let v = Int64.to_int (next64 t) land max_int in

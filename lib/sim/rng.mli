@@ -11,6 +11,13 @@ val create : seed:int -> t
 val split : t -> t
 (** Derive an independent stream (for giving each workload its own stream). *)
 
+val stream : seed:int -> index:int -> t
+(** Keyed derivation: an independent stream that is a pure function of
+    [(seed, index)] — unlike {!split}, it does not depend on creation
+    order, so the parallel engine can key per-node streams by node id
+    and get draw-identical workloads at every domain count (property-
+    tested in [test/test_parallel.ml]).  [index] must be >= 0. *)
+
 (** {1 Forking and replaying}
 
     The schedule explorer re-runs a scenario many times and must be able to

@@ -1,0 +1,77 @@
+(* Bounded single-producer single-consumer ring over two monotonic
+   cursors.  The producer owns [head] (writes a slot, then publishes the
+   new head); the consumer owns [tail] (reads a slot, clears it, then
+   publishes the new tail).  Each side only ever *stores* to its own
+   cursor, so the cursors never need read-modify-write operations, and
+   the seq_cst [Atomic] accesses order the plain slot accesses: a slot
+   write happens-before the head store that makes it visible, which
+   happens-before the consumer's head load, which happens-before its
+   slot read (and symmetrically for reuse after [tail] advances).
+
+   Slots hold ['a option] so an empty slot is a real value rather than
+   an [Obj]-level hole; the per-push [Some] allocation is two words on
+   the minor heap, irrelevant next to the simulation events each message
+   becomes. *)
+
+type 'a t = {
+  slots : 'a option array;
+  cap : int;
+  head : int Atomic.t; (* next slot to write; owned by the producer *)
+  tail : int Atomic.t; (* next slot to read; owned by the consumer *)
+}
+
+exception Full
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  {
+    slots = Array.make capacity None;
+    cap = capacity;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.cap
+
+(* Racy by nature (each cursor may move under the other side's feet),
+   but each side reads its own cursor exactly and the other side's
+   conservatively, so the producer never over-reports free space and
+   the consumer never over-reports occupancy. *)
+let length t = Atomic.get t.head - Atomic.get t.tail
+
+let try_push t v =
+  let head = Atomic.get t.head in
+  if head - Atomic.get t.tail >= t.cap then false
+  else begin
+    t.slots.(head mod t.cap) <- Some v;
+    Atomic.set t.head (head + 1);
+    true
+  end
+
+let push t v = if not (try_push t v) then raise Full
+
+let pop_opt t =
+  let tail = Atomic.get t.tail in
+  if Atomic.get t.head = tail then None
+  else begin
+    let slot = tail mod t.cap in
+    let v = t.slots.(slot) in
+    t.slots.(slot) <- None;
+    Atomic.set t.tail (tail + 1);
+    match v with
+    | Some _ -> v
+    | None -> invalid_arg "Spsc.pop_opt: published slot was empty"
+  end
+
+let drain t f =
+  let n = ref 0 in
+  let rec go () =
+    match pop_opt t with
+    | None -> ()
+    | Some v ->
+        incr n;
+        f v;
+        go ()
+  in
+  go ();
+  !n

@@ -1,0 +1,40 @@
+(** Bounded single-producer single-consumer queue, safe across domains.
+
+    The cross-partition message channel of the parallel engine
+    ({!Parallel}): exactly one domain pushes and exactly one domain pops,
+    each cursor is written by its owning side only, and the [Atomic]
+    cursor accesses order the slot accesses, so no lock is ever taken.
+    FIFO order is preserved — the parallel scheduler relies on it to
+    merge inbound events deterministically. *)
+
+type 'a t
+
+exception Full
+(** Raised by {!push} on a full queue.  The consumer only drains at
+    window barriers, so blocking here could deadlock two partitions
+    mid-window; a full channel is a capacity-planning error surfaced
+    loudly instead. *)
+
+val create : capacity:int -> 'a t
+(** [capacity] must be >= 1. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Approximate occupancy (exact when neither side is concurrently
+    moving): never over-reports free space to the producer nor
+    occupancy to the consumer. *)
+
+val push : 'a t -> 'a -> unit
+(** Producer side only.  @raise Full when the ring is at capacity. *)
+
+val try_push : 'a t -> 'a -> bool
+
+val pop_opt : 'a t -> 'a option
+(** Consumer side only; [None] when empty. *)
+
+val drain : 'a t -> ('a -> unit) -> int
+(** Consumer side: pop until empty, applying [f] in FIFO order; returns
+    the number drained.  Elements pushed concurrently with the drain may
+    or may not be included — the parallel scheduler only drains between
+    window barriers, when producers are quiescent. *)

@@ -37,10 +37,17 @@ let create ?(capacity = 65536) eng =
     next_id = 1;
   }
 
-let current : t option ref = ref None
-let install t = current := Some t
-let uninstall () = current := None
-let installed () = !current <> None
+(* Domain-local: each domain of the parallel engine installs its own
+   tracer over its own engine, so recording never crosses domains (and
+   never needs a lock).  Reading [None] from the key is one DLS array
+   load — the disabled path stays allocation-free (pinned by the
+   zero-alloc test, which also runs inside a spawned domain). *)
+let current : t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let install t = Domain.DLS.set current (Some t)
+let uninstall () = Domain.DLS.set current None
+let installed () = Domain.DLS.get current <> None
 
 let record t ~kind ~id ~label ~track =
   let slot = t.written mod t.cap in
@@ -52,7 +59,7 @@ let record t ~kind ~id ~label ~track =
   t.written <- t.written + 1
 
 let span_begin ~track label =
-  match !current with
+  match Domain.DLS.get current with
   | None -> 0
   | Some t ->
       let id = t.next_id in
@@ -61,12 +68,12 @@ let span_begin ~track label =
       id
 
 let span_end id =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some t -> if id > 0 then record t ~kind:1 ~id ~label:"" ~track:""
 
 let instant ~track label =
-  match !current with
+  match Domain.DLS.get current with
   | None -> ()
   | Some t -> record t ~kind:2 ~id:0 ~label ~track
 
@@ -99,6 +106,15 @@ let fold_events t f acc =
   !acc
 
 let events t = List.rev (fold_events t (fun acc e -> e :: acc) [])
+
+(* Merge per-domain rings into one timeline: stable sort on time only,
+   over the concatenation in tracer order, so same-time events keep
+   (tracer, recording) order — the same (time, partition, index) merge
+   rule the parallel scheduler applies to messages. *)
+let merged ts =
+  List.stable_sort
+    (fun a b -> Int.compare a.time b.time)
+    (List.concat_map events ts)
 
 let occurrences t label =
   List.rev

@@ -33,7 +33,11 @@ val create : ?capacity:int -> Engine.t -> t
 
 (** {1 Installing}
 
-    One tracer is active at a time, process-wide (like the vet hooks). *)
+    One tracer is active at a time {e per domain} (a [Domain.DLS] slot):
+    each partition of the parallel engine installs its own tracer over
+    its own engine and recording never crosses domains.  On a
+    single-domain program this is indistinguishable from the old
+    process-wide behaviour. *)
 
 val install : t -> unit
 val uninstall : unit -> unit
@@ -54,6 +58,13 @@ val instant : track:string -> string -> unit
 
 val events : t -> event list
 (** Surviving events, oldest first. *)
+
+val merged : t list -> event list
+(** One timeline out of several (per-domain) rings: all surviving
+    events, sorted by time; same-time events keep (tracer order,
+    recording order) — the same deterministic merge rule the parallel
+    scheduler applies to cross-partition messages, so a merged trace of
+    a parallel run is reproducible. *)
 
 val recorded : t -> int
 (** Total events ever recorded, including since-dropped ones. *)

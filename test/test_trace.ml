@@ -176,6 +176,84 @@ let test_disabled_zero_alloc () =
     (Printf.sprintf "disabled path allocation-free (%.0f words)" delta)
     true (delta < 256.)
 
+(* ---------- per-domain tracers ---------- *)
+
+(* [Trace.install] is domain-local state: a tracer installed in one
+   domain must be invisible to — and must not race with — every other
+   domain, so each partition of the parallel engine records into its
+   own ring. *)
+let test_install_is_domain_local () =
+  let eng = Engine.create () in
+  let parent = Trace.create eng in
+  Trace.install parent;
+  Trace.instant ~track:"parent" "p0";
+  let child_saw_parent = ref true in
+  let d =
+    Domain.spawn (fun () ->
+        (* fresh domain: no tracer inherited *)
+        child_saw_parent := Trace.installed ();
+        let ceng = Engine.create () in
+        let child = Trace.create ceng in
+        Trace.install child;
+        Trace.instant ~track:"child" "c0";
+        Trace.instant ~track:"child" "c1";
+        Trace.uninstall ();
+        child)
+  in
+  let child = Domain.join d in
+  Trace.instant ~track:"parent" "p1";
+  Trace.uninstall ();
+  check_bool "child domain starts with no tracer" false !child_saw_parent;
+  Alcotest.(check (list string))
+    "parent ring untouched by child" [ "p0"; "p1" ]
+    (List.map (fun (e : Trace.event) -> e.label) (Trace.events parent));
+  Alcotest.(check (list string))
+    "child ring recorded in its own domain" [ "c0"; "c1" ]
+    (List.map (fun (e : Trace.event) -> e.label) (Trace.events child))
+
+(* The zero-alloc-when-disabled pin holds inside a spawned domain too:
+   the DLS lookup on the disabled path must not allocate. *)
+let test_disabled_zero_alloc_in_domain () =
+  let delta =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let track = "track" and label = "label" in
+           ignore (Trace.span_begin ~track label);
+           Trace.span_end 0;
+           Trace.instant ~track label;
+           let before = Gc.minor_words () in
+           for _ = 1 to 10_000 do
+             let id = Trace.span_begin ~track label in
+             Trace.span_end id;
+             Trace.instant ~track label
+           done;
+           Gc.minor_words () -. before))
+  in
+  check_bool
+    (Printf.sprintf "disabled path allocation-free in domain (%.0f words)"
+       delta)
+    true (delta < 256.)
+
+let test_merged () =
+  let eng1 = Engine.create () and eng2 = Engine.create () in
+  let t1 = Trace.create eng1 and t2 = Trace.create eng2 in
+  let record eng t evs =
+    Trace.install t;
+    List.iter
+      (fun (at, label) -> ignore (Engine.at eng at (fun () -> Trace.instant ~track:"m" label)))
+      evs;
+    Engine.run eng;
+    Trace.uninstall ()
+  in
+  record eng1 t1 [ (10, "a10"); (30, "a30"); (30, "a30'") ];
+  record eng2 t2 [ (20, "b20"); (30, "b30") ];
+  Alcotest.(check (list (pair int string)))
+    "merged is time-sorted, stable within a tick"
+    [ (10, "a10"); (20, "b20"); (30, "a30"); (30, "a30'"); (30, "b30") ]
+    (List.map
+       (fun (e : Trace.event) -> (e.time, e.label))
+       (Trace.merged [ t1; t2 ]))
+
 let () =
   Alcotest.run "nectar_trace"
     [
@@ -187,5 +265,14 @@ let () =
             test_ring_overflow;
           Alcotest.test_case "disabled tracer allocates nothing" `Quick
             test_disabled_zero_alloc;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "install is domain-local" `Quick
+            test_install_is_domain_local;
+          Alcotest.test_case "disabled zero-alloc holds in a spawned domain"
+            `Quick test_disabled_zero_alloc_in_domain;
+          Alcotest.test_case "merged timeline is deterministic" `Quick
+            test_merged;
         ] );
     ]
