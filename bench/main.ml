@@ -21,6 +21,8 @@ let experiments =
     ("perf-smoke", Perf.run ~smoke:true);
     ("scaling", Scaling.run ~smoke:false);
     ("scaling-smoke", Scaling.run ~smoke:true);
+    ("fleet", Fleet_bench.run ~smoke:false);
+    ("fleet-smoke", Fleet_bench.run ~smoke:true);
   ]
 
 let () =

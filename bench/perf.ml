@@ -310,7 +310,7 @@ let json_of ~engine_ns ~cancel_ns ~fig7_wall_ms ~sweep ~size
     ~(fleet_off : float * int * int) ~(fleet_on : float * int * int)
     ~fleet_cfg ~copy_size
     ~(rmp_copies : int * int * float) ~(tcp_copies : int * int)
-    ~(fo : Failover.result) ~scaling =
+    ~(fo : Failover.result) ~scaling ~fleet_scale =
   let b = Buffer.create 1024 in
   let senders, fcount, fsize, coal_us = fleet_cfg in
   let off_t, off_got, off_b = fleet_off in
@@ -366,6 +366,8 @@ let json_of ~engine_ns ~cancel_ns ~fig7_wall_ms ~sweep ~size
     copy_size rmp_after rmp_before reduction tcp_after tcp_before;
   Buffer.add_string b ",\n";
   Buffer.add_string b scaling;
+  Buffer.add_string b ",\n";
+  Buffer.add_string b fleet_scale;
   Buffer.add_string b ",\n";
   Printf.bprintf b
     "  \"failover\": {\n\
@@ -494,6 +496,10 @@ let run ?(smoke = false) () =
      wall-clock speedup is recorded, and asserted only on >= 4 cores. *)
   let scaling = Scaling.measure ~smoke ~check () in
   Scaling.print scaling;
+  (* Fleet scale: 256-1024-CAB worlds, slab allocators, footprint gate
+     (the smoke form is the @fleet CI alias's workload). *)
+  let fleet_scale = Fleet_bench.measure ~smoke ~check () in
+  Fleet_bench.print fleet_scale;
   if not smoke then begin
     let engine_ns = time_ns engine_1k_events in
     let cancel_ns = time_ns engine_schedule_cancel in
@@ -517,6 +523,7 @@ let run ?(smoke = false) () =
         ~fleet_cfg:(senders, fcount, fsize, coal_us)
         ~copy_size:size ~rmp_copies ~tcp_copies ~fo
         ~scaling:(Scaling.json_fragment scaling)
+        ~fleet_scale:(Fleet_bench.json_fragment fleet_scale)
     in
     let oc = open_out "BENCH_perf.json" in
     output_string oc js;

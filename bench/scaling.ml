@@ -49,31 +49,16 @@ let schedule ~msgs n =
       let dst = if d >= n then d + 1 else d in
       (gap, dst))
 
-(* Dimension-ordered (XY, no-wrap) source routes: columns first on the
-   east/west trunks, then rows on the south/north trunks, then the
-   destination seat.  Each directional channel class (east 15, west 14,
-   south 13, north 12) is traversed monotonically, so the port
-   waits-for graph of any set of concurrent cut-through circuits is
-   acyclic — the classic e-cube deadlock-freedom argument.  BFS
-   shortest routes over the wrap trunks do deadlock this fleet
-   (concurrent circuits form a circular port wait around a ring of the
-   torus), which is why the routes are fixed here rather than taken
-   from Network.route.  The
-   same global port list works at every domain count: partitioned
-   networks walk it across their boundary ports. *)
+(* Dimension-ordered (XY, no-wrap) source routes from the reusable
+   [Policy.Ecube] arithmetic (see its .mli for the cut-through
+   deadlock-freedom argument; BFS shortest routes over the wrap trunks
+   do deadlock this fleet).  The same global port list works at every
+   domain count: partitioned networks walk it across their boundary
+   ports. *)
 let route_ports ~src ~dst =
-  let h1 = hub_of_node src and h2 = hub_of_node dst in
-  let r1 = h1 / cols and c1 = h1 mod cols in
-  let r2 = h2 / cols and c2 = h2 mod cols in
-  let col_hops =
-    if c2 > c1 then List.init (c2 - c1) (fun _ -> 15)
-    else List.init (c1 - c2) (fun _ -> 14)
-  in
-  let row_hops =
-    if r2 > r1 then List.init (r2 - r1) (fun _ -> 13)
-    else List.init (r1 - r2) (fun _ -> 12)
-  in
-  col_hops @ row_hops @ [ dst mod seats ]
+  Nectar_route.Policy.ecube_route ~rows ~cols ~src_hub:(hub_of_node src)
+    ~dst_hub:(hub_of_node dst)
+  @ [ dst mod seats ]
 
 (* ---------- partitioned worlds ---------- *)
 

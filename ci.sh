@@ -6,7 +6,9 @@
 # the failover gate (route-policy verifier plus the bounded-blackout
 # ring flap campaign), the parallel-engine gate (2-domain scaling
 # smoke with built-in determinism double-run, plus the heap-level
-# isolation audit of a partitioned world), the perf-harness smoke (its
+# isolation audit of a partitioned world), the fleet-scale gate (a
+# 256-CAB incast world over 2 domains with conservation, determinism,
+# footprint and slab-allocator pins), the perf-harness smoke (its
 # assertions are deterministic delivery/batch counts, exact zero-copy
 # byte counters, and the recorded BENCH_perf.json throughputs with
 # tracing compiled in but disabled — wall-clock numbers are never
@@ -21,5 +23,6 @@ dune build @chaos
 dune build @check
 dune build @failover
 dune build @parallel
+dune build @fleet
 dune exec bench/main.exe -- perf-smoke
 dune exec bin/nectar_cli.exe -- trace --check --out /tmp/nectar_trace_ci.json

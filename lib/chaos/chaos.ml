@@ -123,13 +123,9 @@ let build_torus ~rows ~cols ~at ?stack_opts () =
     at;
   let eng = Engine.create () in
   let net = Net.create eng ~hubs:(rows * cols) () in
-  let idx r c = (r * cols) + c in
-  for r = 0 to rows - 1 do
-    for c = 0 to cols - 1 do
-      Net.connect_hubs net (idx r c, 15) (idx r ((c + 1) mod cols), 14);
-      Net.connect_hubs net (idx r c, 13) (idx ((r + 1) mod rows) c, 12)
-    done
-  done;
+  List.iter
+    (fun (a, b) -> Net.connect_hubs net a b)
+    (Nectar_fleet.Topology.torus_trunks ~rows ~cols);
   seat_stacks eng net ~at ~stack_opts
 
 (* A two-level fat tree: [leaves] edge HUBs (indices 0 .. leaves-1) each
@@ -154,11 +150,9 @@ let build_fat_tree ~leaves ~spines ~at ?stack_opts () =
     at;
   let eng = Engine.create () in
   let net = Net.create eng ~hubs:(leaves + spines) () in
-  for l = 0 to leaves - 1 do
-    for s = 0 to spines - 1 do
-      Net.connect_hubs net (l, 15 - s) (leaves + s, 15 - l)
-    done
-  done;
+  List.iter
+    (fun (a, b) -> Net.connect_hubs net a b)
+    (Nectar_fleet.Topology.fat_tree_trunks ~leaves ~spines);
   seat_stacks eng net ~at ~stack_opts
 
 let add_host w i =

@@ -11,9 +11,12 @@ type t = {
   mutable signals_lost_count : int;
   host_notify_count : Stats.Counter.t;
   cab_signal_count : Stats.Counter.t;
+  msg_pool : Message.pool option;
+      (* one record pool per runtime, shared by all its mailboxes; None
+         (the default) keeps allocation behaviour identical to the seed *)
 }
 
-let create cab =
+let create ?(msg_pool = false) cab =
   let rheap =
     Buffer_heap.create ~base:0 ~size:(Memory.data_bytes (Cab.memory cab))
   in
@@ -33,6 +36,7 @@ let create cab =
     signals_lost_count = 0;
     host_notify_count = Stats.Counter.create ();
     cab_signal_count = Stats.Counter.create ();
+    msg_pool = (if msg_pool then Some (Message.Pool.create ()) else None);
   }
 
 let cab t = t.rcab
@@ -48,7 +52,7 @@ let create_mailbox t ~name ?port ?byte_limit ?capacity ?overflow
     ?cached_buffer_bytes ?upcall () =
   let mbox =
     Mailbox.create (engine t) ~heap:t.rheap ~mem:(mem t) ~name ?byte_limit
-      ?capacity ?overflow ?cached_buffer_bytes ?upcall ()
+      ?capacity ?overflow ?cached_buffer_bytes ?upcall ?pool:t.msg_pool ()
   in
   (match port with
   | Some p ->
@@ -103,3 +107,4 @@ let signals_lost t = t.signals_lost_count
 
 let host_notifications t = Stats.Counter.value t.host_notify_count
 let cab_signals t = Stats.Counter.value t.cab_signal_count
+let msg_pool t = t.msg_pool

@@ -7,7 +7,11 @@
 
 type t
 
-val create : Nectar_cab.Cab.t -> t
+val create : ?msg_pool:bool -> Nectar_cab.Cab.t -> t
+(** [msg_pool] (default false) gives the runtime a {!Message.Pool} shared
+    by all its mailboxes, recycling message records through a typed free
+    list — the fleet worlds enable it; the seed micro-benches run both
+    ways and pin identical results. *)
 
 val cab : t -> Nectar_cab.Cab.t
 val engine : t -> Nectar_sim.Engine.t
@@ -33,6 +37,10 @@ val create_mailbox :
     [capacity]/[overflow] bound the message queue (see {!Mailbox.create}). *)
 
 val mailbox_at : t -> port:int -> Mailbox.t option
+
+val msg_pool : t -> Message.pool option
+(** The runtime's message-record pool when created with [~msg_pool:true];
+    its churn counters surface in [Stack.register_metrics]. *)
 
 (** {1 CAB signal queue (paper §3.2)}
 

@@ -1,0 +1,58 @@
+(** Synthetic fleet workloads: deterministic per-node traffic schedules
+    for the 256-1024-CAB worlds.
+
+    Three patterns — incast fan-in (every non-sink node sends to a small
+    set of sinks), all-to-all (round-robin over every peer), and Zipfian
+    hotspot skew (destinations drawn from a Zipf distribution, node 0
+    hottest) — each in closed-loop form (a think gap after the previous
+    send {e completes}, so senders self-clock against fabric
+    backpressure) or open-loop form (absolute Poisson due times; a sender
+    that falls behind sends immediately on catching up, so offered load
+    is independent of fabric state).
+
+    Every schedule is a pure function of [(seed, node)] via keyed Rng
+    streams: identical at every partition count and on every re-run —
+    the fleet bench's double-run determinism gate depends on it. *)
+
+type pattern =
+  | Incast of { sinks : int }
+      (** nodes [0..sinks-1] only receive; every other node spreads its
+          messages across them *)
+  | All_to_all
+  | Hotspot of { alpha : float }
+      (** Zipf([alpha]) destination skew; rank [k] is node [k] *)
+
+type arrivals =
+  | Closed of { think_ns : int }
+      (** per-send gap drawn uniform in [think/2, 3*think/2] *)
+  | Open of { interval_ns : int }
+      (** Poisson arrivals with this mean interarrival *)
+
+type t = {
+  pattern : pattern;
+  arrivals : arrivals;
+  msgs_per_node : int;
+  seed : int;
+}
+
+val make :
+  pattern:pattern -> arrivals:arrivals -> msgs_per_node:int -> seed:int -> t
+(** @raise Invalid_argument on nonsense parameters. *)
+
+val is_open : t -> bool
+val pattern_name : t -> string
+
+val is_sender : t -> nodes:int -> node:int -> bool
+val sender_count : t -> nodes:int -> int
+
+val total_messages : t -> nodes:int -> int
+(** Aggregate sends: [sender_count * msgs_per_node]. *)
+
+type send = {
+  at : int;  (** closed loop: gap before this send; open loop: due time *)
+  dst : int;
+}
+
+val plan : t -> nodes:int -> node:int -> send array
+(** The node's full schedule ([[||]] for a pure sink).  Pure function of
+    [(seed, node)]. *)

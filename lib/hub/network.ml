@@ -53,6 +53,8 @@ type t = {
   link_down_count : Stats.Counter.t;
   remote_out : Stats.Counter.t;
   remote_in : Stats.Counter.t;
+  port_waits_count : Stats.Counter.t;
+  port_wait_ns_total : Stats.Counter.t;
 }
 
 let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
@@ -96,6 +98,8 @@ let create eng ?(ports_per_hub = 16) ?(fiber_ns_per_byte = 80)
     link_down_count = Stats.Counter.create ();
     remote_out = Stats.Counter.create ();
     remote_in = Stats.Counter.create ();
+    port_waits_count = Stats.Counter.create ();
+    port_wait_ns_total = Stats.Counter.create ();
   }
 
 let engine t = t.eng
@@ -264,12 +268,26 @@ let chunk_plan t ~header_bytes total =
    rate.  Shared by [transmit] (source side) and [inject] (continuation
    of a frame that crossed a partition boundary). *)
 let run_circuit t ~hops ~target ~verdict ~header_bytes frame =
+  (* Contention accounting: circuit setup takes exactly [hub_setup_ns]
+     per hop when every controller and output port is idle; any simulated
+     time beyond that was spent queued behind other circuits.  The fleet
+     bench reads this as HUB port contention. *)
+  let acquire_start = Engine.now t.eng in
+  let hop_count = ref 0 in
   List.iter
     (fun (h, p) ->
+      incr hop_count;
       Resource.with_held t.hubs.(h).controller (fun () ->
           Engine.sleep t.eng t.hub_setup_ns);
       Resource.acquire p.out_res)
     hops;
+  let waited =
+    Engine.now t.eng - acquire_start - (t.hub_setup_ns * !hop_count)
+  in
+  if waited > 0 then begin
+    Stats.Counter.incr t.port_waits_count;
+    Stats.Counter.add t.port_wait_ns_total waited
+  end;
   Engine.sleep t.eng (t.hop_latency_ns * List.length hops);
   let total = Frame.length frame in
   let header_bytes = min header_bytes total in
@@ -384,6 +402,8 @@ let frames_corrupted t = Stats.Counter.value t.corrupted
 let link_down_drops t = Stats.Counter.value t.link_down_count
 let remote_handoffs t = Stats.Counter.value t.remote_out
 let remote_injections t = Stats.Counter.value t.remote_in
+let port_waits t = Stats.Counter.value t.port_waits_count
+let port_wait_ns t = Stats.Counter.value t.port_wait_ns_total
 
 let register_metrics t reg ~prefix =
   let c name read = Nectar_util.Metrics.counter reg (prefix ^ name) read in
@@ -394,4 +414,6 @@ let register_metrics t reg ~prefix =
   c "net.frames_corrupted" (fun () -> frames_corrupted t);
   c "net.link_down_drops" (fun () -> link_down_drops t);
   c "net.remote_handoffs" (fun () -> remote_handoffs t);
-  c "net.remote_injections" (fun () -> remote_injections t)
+  c "net.remote_injections" (fun () -> remote_injections t);
+  c "net.port_waits" (fun () -> port_waits t);
+  c "net.port_wait_ns" (fun () -> port_wait_ns t)

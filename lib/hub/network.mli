@@ -218,5 +218,15 @@ val remote_handoffs : t -> int
 val remote_injections : t -> int
 (** Frames that entered this partition via {!inject}. *)
 
+val port_waits : t -> int
+(** Circuits whose setup took longer than the unavoidable
+    per-hop controller time — i.e. that queued behind another circuit on
+    some HUB controller or output port. *)
+
+val port_wait_ns : t -> int
+(** Total simulated time circuits spent queued during setup (beyond the
+    per-hop controller service time), summed over all transfers — the
+    fleet bench's HUB port-contention measure. *)
+
 val register_metrics : t -> Nectar_util.Metrics.t -> prefix:string -> unit
 (** Register the wire accounting counters as [<prefix>net.*]. *)

@@ -12,6 +12,30 @@ type preference =
   | Avoid_hubs of int list
   | Avoid_links of (int * int) list
   | Static of int list
+  | Ecube of { rows : int; cols : int }
+
+(* Dimension-ordered (XY, no-wrap) hub traversal on a [rows] x [cols]
+   torus wired on the conventional directional ports (east 15, west 14,
+   south 13, north 12): all column correction first, then all row
+   correction, never using the wrap trunks.  Pure arithmetic on the grid
+   coordinates — no topology object needed — so partitioned worlds and
+   benches can share the exact port lists the router compiles. *)
+let ecube_route ~rows ~cols ~src_hub ~dst_hub =
+  if rows < 1 || cols < 1 then invalid_arg "Policy.ecube_route: empty grid";
+  let hubs = rows * cols in
+  if src_hub < 0 || src_hub >= hubs || dst_hub < 0 || dst_hub >= hubs then
+    invalid_arg "Policy.ecube_route: hub outside the grid";
+  let r1 = src_hub / cols and c1 = src_hub mod cols in
+  let r2 = dst_hub / cols and c2 = dst_hub mod cols in
+  let col_hops =
+    if c2 > c1 then List.init (c2 - c1) (fun _ -> 15)
+    else List.init (c1 - c2) (fun _ -> 14)
+  in
+  let row_hops =
+    if r2 > r1 then List.init (r2 - r1) (fun _ -> 13)
+    else List.init (r1 - r2) (fun _ -> 12)
+  in
+  col_hops @ row_hops
 
 type rule = { where : predicate; prefer : preference list; ecmp : bool }
 
@@ -61,6 +85,7 @@ let preference_to_string = function
   | Static ps ->
       Printf.sprintf "static[%s]"
         (String.concat ";" (List.map string_of_int ps))
+  | Ecube { rows; cols } -> Printf.sprintf "ecube[%dx%d]" rows cols
 
 let rule_to_string r =
   Printf.sprintf "where %s prefer %s%s"

@@ -37,6 +37,35 @@ type preference =
           loop-freedom is deliberately NOT enforced here — that is the
           verifier's job, so a looping pinned route is a rejectable
           policy, not a silent fallback. *)
+  | Ecube of { rows : int; cols : int }
+      (** dimension-ordered (e-cube) routing on a [rows] x [cols] torus
+          whose trunks follow the directional port convention (east 15,
+          west 14, south 13, north 12): correct the column first on the
+          east/west trunks, then the row on the south/north trunks, never
+          crossing a wrap link.
+
+          Why a dedicated preference and not [Shortest]: the HUB fabric is
+          {e cut-through} — a transfer holds every output port of its
+          circuit for the whole frame.  On a torus, BFS-shortest routes use
+          the wrap trunks, and a ring of concurrent circuits around a
+          dimension can then each hold its upstream port while waiting for
+          the next one: a cycle in the port waits-for graph, i.e. deadlock
+          (observed in practice — [bench/scaling.ml] documents the hang).
+          E-cube routes traverse each directional channel class
+          monotonically (all 15s, then all 14s, then 13s, then 12s, and
+          column classes strictly before row classes), so any waits-for
+          chain descends a fixed class order and can never cycle — the
+          classic e-cube deadlock-freedom argument, at the price of
+          forgoing wrap shortcuts (worst-case path [cols-1 + rows-1]
+          hops).  The verifier accepts these routes like any other: they
+          are walkable, loop-free and live-port-only by construction. *)
+
+val ecube_route : rows:int -> cols:int -> src_hub:int -> dst_hub:int -> int list
+(** The dimension-ordered hub-to-hub port list (excluding the destination
+    node's attachment port, which depends on the seat, not the grid).
+    Pure arithmetic on grid coordinates: partitioned fleet worlds use it
+    directly for global routes that cross partition boundaries.
+    @raise Invalid_argument if a hub lies outside the grid. *)
 
 type rule = { where : predicate; prefer : preference list; ecmp : bool }
 (** [ecmp] splits flows across all equal-cost paths of the winning

@@ -184,6 +184,19 @@ let paths_for_pref t ~src ~dst ~cap = function
   | Policy.Avoid_links ls ->
       enumerate t ~src ~dst ~avoid_hubs:[] ~avoid_links:ls ~cap
   | Policy.Static ps -> if static_usable t ~src ~dst ps then [ ps ] else []
+  | Policy.Ecube { rows; cols } ->
+      (* Derived like a Static route, from grid arithmetic instead of an
+         operator's pin: usable only if it walks to the destination over
+         live ports (so a downed trunk fails over to the rule's next
+         preference, or to a typed refusal). *)
+      let src_hub, _ = Net.node_attachment t.net src in
+      let dst_hub, dst_port = Net.node_attachment t.net dst in
+      if src_hub >= rows * cols || dst_hub >= rows * cols then []
+      else
+        let ps =
+          Policy.ecube_route ~rows ~cols ~src_hub ~dst_hub @ [ dst_port ]
+        in
+        if static_usable t ~src ~dst ps then [ ps ] else []
 
 (* Compile one flow against the live topology: first matching rule, first
    preference with a live path; ECMP picks deterministically among the

@@ -112,7 +112,7 @@ let prop_heap_conservation =
 
 let scratch_message len =
   let mem = Bytes.make 4096 '\000' in
-  Message.make ~mem ~buf_off:100 ~buf_len:512 ~len ~free_buffer:(fun () -> ())
+  Message.make ~mem ~buf_off:100 ~buf_len:512 ~len ~free_buffer:(fun () -> ()) ()
 
 let test_message_rw () =
   let m = scratch_message 64 in
@@ -165,6 +165,7 @@ let test_slice_refcount_pins_buffer () =
   let m =
     Message.make ~mem ~buf_off:0 ~buf_len:64 ~len:32
       ~free_buffer:(fun () -> freed := true)
+      ()
   in
   let s = Message.slice m ~pos:0 ~len:16 in
   let sub = Message.Slice.sub s ~pos:4 ~len:8 in

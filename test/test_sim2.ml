@@ -186,7 +186,7 @@ let null_ctx eng : Ctx.t =
 let test_message_push_head_bounds () =
   let mem = Bytes.make 256 '\000' in
   let m = Message.make ~mem ~buf_off:100 ~buf_len:64 ~len:64
-      ~free_buffer:(fun () -> ()) in
+      ~free_buffer:(fun () -> ()) () in
   Message.adjust_head m 10;
   Message.push_head m 10;
   check_int "restored" 64 (Message.length m);
@@ -196,7 +196,7 @@ let test_message_push_head_bounds () =
 let test_message_blits () =
   let mem = Bytes.make 256 '\000' in
   let m = Message.make ~mem ~buf_off:16 ~buf_len:64 ~len:64
-      ~free_buffer:(fun () -> ()) in
+      ~free_buffer:(fun () -> ()) () in
   let src = Bytes.of_string "0123456789" in
   Message.blit_from m ~dst_pos:4 ~src ~src_pos:2 ~len:5;
   Alcotest.(check string) "blit_from" "23456"
