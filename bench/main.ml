@@ -23,6 +23,8 @@ let experiments =
     ("scaling-smoke", Scaling.run ~smoke:true);
     ("fleet", Fleet_bench.run ~smoke:false);
     ("fleet-smoke", Fleet_bench.run ~smoke:true);
+    ("coll", Coll_bench.run ~smoke:false);
+    ("coll-smoke", Coll_bench.run ~smoke:true);
   ]
 
 let () =

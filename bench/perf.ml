@@ -310,7 +310,7 @@ let json_of ~engine_ns ~cancel_ns ~fig7_wall_ms ~sweep ~size
     ~(fleet_off : float * int * int) ~(fleet_on : float * int * int)
     ~fleet_cfg ~copy_size
     ~(rmp_copies : int * int * float) ~(tcp_copies : int * int)
-    ~(fo : Failover.result) ~scaling ~fleet_scale =
+    ~(fo : Failover.result) ~scaling ~fleet_scale ~collectives =
   let b = Buffer.create 1024 in
   let senders, fcount, fsize, coal_us = fleet_cfg in
   let off_t, off_got, off_b = fleet_off in
@@ -368,6 +368,8 @@ let json_of ~engine_ns ~cancel_ns ~fig7_wall_ms ~sweep ~size
   Buffer.add_string b scaling;
   Buffer.add_string b ",\n";
   Buffer.add_string b fleet_scale;
+  Buffer.add_string b ",\n";
+  Buffer.add_string b collectives;
   Buffer.add_string b ",\n";
   Printf.bprintf b
     "  \"failover\": {\n\
@@ -500,6 +502,10 @@ let run ?(smoke = false) () =
      (the smoke form is the @fleet CI alias's workload). *)
   let fleet_scale = Fleet_bench.measure ~smoke ~check () in
   Fleet_bench.print fleet_scale;
+  (* Collectives: tree vs host-driven baseline, single-wakeup and tail
+     latency gates (the smoke form is the @coll CI alias's workload). *)
+  let collectives = Coll_bench.measure ~smoke ~check () in
+  Coll_bench.print collectives;
   if not smoke then begin
     let engine_ns = time_ns engine_1k_events in
     let cancel_ns = time_ns engine_schedule_cancel in
@@ -524,6 +530,7 @@ let run ?(smoke = false) () =
         ~copy_size:size ~rmp_copies ~tcp_copies ~fo
         ~scaling:(Scaling.json_fragment scaling)
         ~fleet_scale:(Fleet_bench.json_fragment fleet_scale)
+        ~collectives:(Coll_bench.json_fragment collectives)
     in
     let oc = open_out "BENCH_perf.json" in
     output_string oc js;

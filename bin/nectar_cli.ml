@@ -1010,6 +1010,130 @@ let run_route ring hubs verify flaps =
   else if flaps then run_route_flaps ~hubs
   else dump_tables (route_world ~ring ~hubs)
 
+(* ---------- coll: CAB-resident collectives (lib/coll) ---------- *)
+
+module Coll = Nectar_coll.Coll
+module Coll_tree = Nectar_coll.Coll.Tree
+
+let coll_topology cabs =
+  match cabs with
+  | 64 -> Nectar_fleet.Topology.Torus { rows = 4; cols = 4; seats = 4 }
+  | 256 -> Nectar_fleet.Topology.Torus { rows = 8; cols = 8; seats = 4 }
+  | 1024 -> Nectar_fleet.Topology.Torus { rows = 16; cols = 16; seats = 4 }
+  | _ ->
+      Printf.printf "coll: --cabs must be 64, 256 or 1024\n";
+      exit 2
+
+(* One mode (tree or host baseline) of the collective scenario: every CAB
+   loops barrier/reduce/bcast [ops] times; the root times each primitive
+   and its runtime's host-notification count checks the wakeup contract. *)
+let run_coll_mode ~topo ~ops ~host ~failures =
+  let w = Coll.World.build topo in
+  let n = Array.length w.Coll.World.colls in
+  let root = Coll_tree.root w.Coll.World.tree in
+  let b_lat = Stats.Summary.create ~keep_samples:true () in
+  let r_lat = Stats.Summary.create ~keep_samples:true () in
+  let c_lat = Stats.Summary.create ~keep_samples:true () in
+  let barrier, reduce, bcast =
+    if host then (Coll.host_barrier, Coll.host_reduce, Coll.host_bcast)
+    else (Coll.barrier, Coll.reduce, Coll.bcast)
+  in
+  let expect_sum = n * (n + 1) / 2 in
+  Array.iteri
+    (fun i c ->
+      ignore
+        (Thread.create
+           (Runtime.cab w.Coll.World.stacks.(i).Stack.rt)
+           ~name:(Printf.sprintf "coll-app%d" i)
+           (fun ctx ->
+             let timed s f =
+               if i = root then begin
+                 let t0 = Engine.now ctx.Ctx.eng in
+                 f ();
+                 Stats.Summary.add s
+                   (float_of_int (Engine.now ctx.Ctx.eng - t0))
+               end
+               else f ()
+             in
+             for _ = 1 to ops do
+               timed b_lat (fun () -> barrier ctx c);
+               timed r_lat (fun () ->
+                   if reduce ctx c (i + 1) <> expect_sum then
+                     failwith "coll: bad reduce");
+               let payload = if i = root then Some "go" else None in
+               timed c_lat (fun () ->
+                   if bcast ctx c payload <> "go" then
+                     failwith "coll: bad bcast")
+             done)))
+    w.Coll.World.colls;
+  Engine.run w.Coll.World.eng;
+  let mode = if host then "host" else "tree" in
+  let wakeups =
+    Runtime.host_notifications w.Coll.World.stacks.(root).Stack.rt
+  in
+  let expect_wakeups = if host then 3 * ops * n else 3 * ops in
+  if wakeups <> expect_wakeups then begin
+    incr failures;
+    Printf.printf "  FAIL: %s wakeups %d, expected %d\n" mode wakeups
+      expect_wakeups
+  end;
+  Array.iteri
+    (fun i st ->
+      if i <> root && Runtime.host_notifications st.Stack.rt <> 0 then begin
+        incr failures;
+        Printf.printf "  FAIL: %s wakeups off the root (node %d)\n" mode i
+      end)
+    w.Coll.World.stacks;
+  Array.iter
+    (fun c ->
+      if Coll.ops_completed c <> 3 * ops then begin
+        incr failures;
+        Printf.printf "  FAIL: %s node completed %d ops, expected %d\n" mode
+          (Coll.ops_completed c) (3 * ops)
+      end)
+    w.Coll.World.colls;
+  let pct s p = Stats.Summary.percentile s p /. 1e3 in
+  Printf.printf "  %-5s %-9s %10s %10s\n" mode "" "p50_us" "p99_us";
+  List.iter
+    (fun (name, s) ->
+      Printf.printf "  %-5s %-9s %10.1f %10.1f\n" mode name (pct s 0.5)
+        (pct s 0.99))
+    [ ("barrier", b_lat); ("reduce", r_lat); ("bcast", c_lat) ];
+  Printf.printf "  %-5s host wakeups at the root: %d (%d ops)\n" mode wakeups
+    (3 * ops);
+  (w, root)
+
+let run_coll cabs ops baseline metrics =
+  let topo = coll_topology cabs in
+  let failures = ref 0 in
+  Printf.printf
+    "collectives: %d CABs (torus, 4 seats/hub), %d iterations of \
+     barrier + reduce + bcast\n"
+    cabs ops;
+  let w, root = run_coll_mode ~topo ~ops ~host:false ~failures in
+  Printf.printf "  tree: depth %d, max fanout %d, root node %d\n"
+    (Coll_tree.max_depth w.Coll.World.tree)
+    (Coll_tree.max_fanout w.Coll.World.tree)
+    root;
+  if metrics then begin
+    let reg = Nectar_util.Metrics.create () in
+    Stack.register_metrics w.Coll.World.stacks.(root) reg;
+    Printf.printf "  root metrics:\n";
+    Nectar_util.Metrics.dump reg
+  end;
+  if baseline then
+    ignore (run_coll_mode ~topo ~ops ~host:true ~failures);
+  if !failures > 0 then begin
+    Printf.printf "coll: %d invariant(s) FAILED\n" !failures;
+    exit 1
+  end
+  else
+    Printf.printf
+      "coll: wakeup contract held (%s)\n"
+      (if baseline then "tree: one per op; host baseline: one per \
+                         participant per op"
+       else "one per op")
+
 (* ---------- cmdliner wiring ---------- *)
 
 open Cmdliner
@@ -1170,6 +1294,37 @@ let route_cmd =
           replay a link-flap schedule")
     Term.(const run_route $ ring $ hubs $ verify $ flaps)
 
+let coll_cmd =
+  let cabs =
+    Arg.(value & opt int 64
+         & info [ "cabs" ] ~doc:"Fleet size: 64, 256 or 1024 CABs.")
+  in
+  let ops =
+    Arg.(value & opt int 5
+         & info [ "ops" ] ~doc:"Iterations of barrier+reduce+bcast.")
+  in
+  let baseline =
+    Arg.(value & flag
+         & info [ "baseline" ]
+             ~doc:"Also run the host-driven star baseline (one host wakeup \
+                   per participant per op) for comparison.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Dump the root stack's metrics registry (includes the \
+                   coll service counters).")
+  in
+  Cmd.v
+    (Cmd.info "coll"
+       ~doc:
+         "Run the CAB-resident collective primitives (barrier, reduce, \
+          broadcast) over the fleet spanning tree, asserting the \
+          single-wakeup-per-operation contract at the root; optionally \
+          compare against the host-driven baseline; exit nonzero on any \
+          invariant violation")
+    Term.(const run_coll $ cabs $ ops $ baseline $ metrics)
+
 let () =
   let doc = "Nectar communication processor simulation scenarios" in
   exit
@@ -1177,5 +1332,5 @@ let () =
        (Cmd.group (Cmd.info "nectar-cli" ~doc)
           [
             ping_cmd; latency_cmd; throughput_cmd; info_cmd; route_cmd;
-            vet_cmd; chaos_cmd; trace_cmd; check_cmd;
+            coll_cmd; vet_cmd; chaos_cmd; trace_cmd; check_cmd;
           ]))

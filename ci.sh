@@ -24,5 +24,6 @@ dune build @check
 dune build @failover
 dune build @parallel
 dune build @fleet
+dune build @coll
 dune exec bench/main.exe -- perf-smoke
 dune exec bin/nectar_cli.exe -- trace --check --out /tmp/nectar_trace_ci.json

@@ -85,7 +85,7 @@ let fiber_tx_process t () =
     done
   done
 
-let create net ~hub ~port ~name =
+let create ?data_bytes net ~hub ~port ~name =
   let eng = Nectar_hub.Network.engine net in
   let cab_cpu = Cpu.create eng ~name:(name ^ ".cpu") () in
   let irq_ctl = Interrupts.create eng cab_cpu ~name () in
@@ -103,7 +103,7 @@ let create net ~hub ~port ~name =
       net;
       eng;
       cab_cpu;
-      mem = Memory.create ();
+      mem = Memory.create ?data_bytes ();
       irq_ctl;
       in_fifo;
       out_fifo;

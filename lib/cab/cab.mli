@@ -17,11 +17,15 @@
 type t
 
 val create :
+  ?data_bytes:int ->
   Nectar_hub.Network.t ->
   hub:int ->
   port:int ->
   name:string ->
   t
+(** [data_bytes] sizes the board's data memory (default
+    {!Costs.data_memory_bytes}, 1 MB); fleet-scale worlds shrink it so a
+    thousand boards fit in host RAM. *)
 
 val name : t -> string
 val node_id : t -> Nectar_hub.Network.node_id

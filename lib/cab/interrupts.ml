@@ -8,6 +8,8 @@ type t = {
   serial : Resource.t; (* handlers run to completion, one at a time *)
   iname : string;
   count : Stats.Counter.t;
+  coalesced_count : Stats.Counter.t;
+  pending : (string, unit) Hashtbl.t; (* latched keys (see post_coalesced) *)
   irq_owner : Cpu.owner;
 }
 
@@ -23,6 +25,8 @@ let create eng cpu ?(dispatch_ns = Costs.irq_dispatch_ns)
     serial = Resource.create eng ~name:(name ^ ".irq-serial") ();
     iname = name;
     count = Stats.Counter.create ();
+    coalesced_count = Stats.Counter.create ();
+    pending = Hashtbl.create 8;
     (* The dispatch cost is charged explicitly, so the owner itself has no
        switch-in cost; transparency means returning from an interrupt does
        not re-charge the interrupted thread's context switch. *)
@@ -48,5 +52,21 @@ let post t ~name fn =
            else fn t);
           Trace.span_end tid))
 
+(* Level-triggered posting: a key already latched (posted, handler not yet
+   entered) absorbs repeat posts — the hardware line stays asserted, the
+   CPU takes one interrupt.  The collective completion path relies on this
+   for its single end-of-operation host wakeup: however many signals race
+   toward "operation complete", exactly one handler dispatch (and so one
+   host notification) results per key. *)
+let post_coalesced t ~key ~name fn =
+  if Hashtbl.mem t.pending key then Stats.Counter.incr t.coalesced_count
+  else begin
+    Hashtbl.replace t.pending key ();
+    post t ~name (fun ictx ->
+        Hashtbl.remove t.pending key;
+        fn ictx)
+  end
+
 let posted t = Stats.Counter.value t.count
+let coalesced t = Stats.Counter.value t.coalesced_count
 let ctx_engine (t : ctx) = t.eng

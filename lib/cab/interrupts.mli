@@ -34,5 +34,16 @@ val work : ctx -> Nectar_sim.Sim_time.span -> unit
 
 val ctx_engine : ctx -> Nectar_sim.Engine.t
 
+val post_coalesced : t -> key:string -> name:string -> (ctx -> unit) -> unit
+(** Level-triggered {!post}: while a post under [key] is pending (queued
+    but its handler not yet entered), further posts under the same key
+    are absorbed — the line stays asserted, the CPU takes one interrupt.
+    The collective layer keys its end-of-operation completion on this to
+    guarantee a single host wakeup per operation no matter how many
+    signals race toward completion. *)
+
 val posted : t -> int
 (** Total interrupts posted (for stats). *)
+
+val coalesced : t -> int
+(** Posts absorbed by {!post_coalesced} while their key was pending. *)

@@ -250,6 +250,61 @@ let route t ~src ~dst =
         List.rev !ups @ !downs @ [ dst_port ]
       end
 
+(* ---------- collective spanning tree ---------- *)
+
+(* A node-level spanning tree for the collective primitives, derived from
+   the trunk list alone so it works on every shape (the irregular mesh's
+   generation tree is one instance; torus and fat tree get a BFS tree).
+
+   Hub layer: BFS over trunk adjacency from the root's hub, neighbours in
+   ascending order — deterministic, minimum hop depth.  Node layer: the
+   lowest-numbered node seated on a hub is that hub's *delegate*; the
+   other seated nodes hang off the delegate, and the delegate's parent is
+   the delegate of the nearest seated ancestor hub (fat-tree spines seat
+   no nodes, so a leaf delegate skips over the spine to another leaf's
+   delegate).  The root node replaces its own hub's delegate. *)
+let spanning_tree t ~root =
+  if root < 0 || root >= t.tnodes then
+    invalid_arg "Topology.spanning_tree: bad root";
+  let seats = seats_of t.tspec in
+  let seated h = h * seats < t.tnodes in
+  let adj = Array.make t.thubs [] in
+  List.iter
+    (fun ((a, _), (b, _)) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    t.ttrunks;
+  Array.iteri (fun i l -> adj.(i) <- List.sort_uniq compare l) adj;
+  let root_hub, _ = attachment t root in
+  let hparent = Array.make t.thubs (-2) in
+  hparent.(root_hub) <- -1;
+  let q = Queue.create () in
+  Queue.add root_hub q;
+  while not (Queue.is_empty q) do
+    let h = Queue.pop q in
+    List.iter
+      (fun n ->
+        if hparent.(n) = -2 then begin
+          hparent.(n) <- h;
+          Queue.add n q
+        end)
+      adj.(h)
+  done;
+  let delegate h = if h = root_hub then root else h * seats in
+  let rec seated_ancestor h =
+    match hparent.(h) with
+    | -2 -> invalid_arg "Topology.spanning_tree: fabric is disconnected"
+    | -1 -> invalid_arg "Topology.spanning_tree: no seated ancestor"
+    | p -> if seated p then p else seated_ancestor p
+  in
+  Array.init t.tnodes (fun n ->
+      if n = root then -1
+      else
+        let h, _ = attachment t n in
+        if h = root_hub then root
+        else if n <> delegate h then delegate h
+        else delegate (seated_ancestor h))
+
 (* ---------- verifier-ready policies ---------- *)
 
 let policy t =

@@ -94,6 +94,20 @@ val policy : t -> Policy.t
     stack-level worlds (tests, chaos campaigns), not the wire-level
     driver, which calls {!route} directly. *)
 
+val spanning_tree : t -> root:int -> int array
+(** A node-level spanning tree for collective operations, rooted at node
+    [root]: entry [n] is [n]'s parent node id ([-1] at the root).
+    Derived from the trunk list alone (BFS over hub adjacency,
+    deterministic neighbour order), so it exists on every shape; on the
+    irregular mesh it parallels the generation spanning tree the
+    up*/down* routes walk.  Within a hub the lowest-numbered seated node
+    is the hub's delegate; its siblings hang off it, and delegates chain
+    toward the root along seated ancestor hubs (fat-tree spines, which
+    seat no CABs, are skipped).  Tree edges are therefore always between
+    nodes whose hubs are BFS-adjacent or equal — one or two fabric hops
+    on the torus, at most one spine crossing on the fat tree.
+    @raise Invalid_argument on a bad root or a disconnected trunk list. *)
+
 (** {1 Trunk lists, shared with the Chaos builders} *)
 
 val torus_trunks : rows:int -> cols:int -> trunk list

@@ -65,10 +65,17 @@ let zipf_cdf ~alpha n =
       w
   in
   let total = !acc in
-  Array.map (fun x -> x /. total) cdf
+  let cdf = Array.map (fun x -> x /. total) cdf in
+  (* Clamp the tail to exactly 1.0: the normalised prefix sums can round
+     the last bucket to just below 1.0, and a draw of u = 1.0 (or u above
+     the rounded tail) must still land on the last rank, never out of
+     range or biased onto a re-search. *)
+  if n > 0 then cdf.(n - 1) <- 1.0;
+  cdf
 
 let zipf_draw cdf u =
   let n = Array.length cdf in
+  if n = 0 then invalid_arg "Workload.zipf_draw: empty CDF";
   let lo = ref 0 and hi = ref (n - 1) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in

@@ -56,3 +56,14 @@ type send = {
 val plan : t -> nodes:int -> node:int -> send array
 (** The node's full schedule ([[||]] for a pure sink).  Pure function of
     [(seed, node)]. *)
+
+val zipf_cdf : alpha:float -> int -> float array
+(** Normalised Zipf CDF over ranks [0..n-1] (weight of rank [k] is
+    [1/(k+1)^alpha]).  The tail is clamped to exactly [1.0] so boundary
+    draws can never fall out of range.  Exposed for property tests. *)
+
+val zipf_draw : float array -> float -> int
+(** First rank whose CDF value is [>= u] (binary search).  Total on
+    [u <= 1.0] for any {!zipf_cdf} array: [u = 0.0] lands on rank 0,
+    [u = 1.0] on the last rank.
+    @raise Invalid_argument on an empty CDF. *)

@@ -270,24 +270,23 @@ let chunk_plan t ~header_bytes total =
 let run_circuit t ~hops ~target ~verdict ~header_bytes frame =
   (* Contention accounting: circuit setup takes exactly [hub_setup_ns]
      per hop when every controller and output port is idle; any simulated
-     time beyond that was spent queued behind other circuits.  The fleet
-     bench reads this as HUB port contention. *)
-  let acquire_start = Engine.now t.eng in
-  let hop_count = ref 0 in
+     time beyond that was spent queued behind other circuits.  Measured
+     per hop so a multi-hop circuit charges each contended port its own
+     wait (one [port_waits] tick per contended port) instead of lumping
+     the whole overrun onto the first hop.  The fleet bench reads this as
+     HUB port contention. *)
   List.iter
     (fun (h, p) ->
-      incr hop_count;
+      let hop_start = Engine.now t.eng in
       Resource.with_held t.hubs.(h).controller (fun () ->
           Engine.sleep t.eng t.hub_setup_ns);
-      Resource.acquire p.out_res)
+      Resource.acquire p.out_res;
+      let waited = Engine.now t.eng - hop_start - t.hub_setup_ns in
+      if waited > 0 then begin
+        Stats.Counter.incr t.port_waits_count;
+        Stats.Counter.add t.port_wait_ns_total waited
+      end)
     hops;
-  let waited =
-    Engine.now t.eng - acquire_start - (t.hub_setup_ns * !hop_count)
-  in
-  if waited > 0 then begin
-    Stats.Counter.incr t.port_waits_count;
-    Stats.Counter.add t.port_wait_ns_total waited
-  end;
   Engine.sleep t.eng (t.hop_latency_ns * List.length hops);
   let total = Frame.length frame in
   let header_bytes = min header_bytes total in

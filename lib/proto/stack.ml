@@ -9,11 +9,17 @@ type t = {
   dgram : Dgram.t;
   rmp : Rmp.t;
   reqresp : Reqresp.t;
+  (* services layered above the stack (e.g. the collective engine in
+     lib/coll, which this library cannot reference) register here so
+     [register_metrics] folds their counters in with the core layers' and
+     a port-owning service cannot be attached twice *)
+  mutable services : (string * (Nectar_util.Metrics.t -> unit)) list;
 }
 
 let create rt ?(tcp_checksum = true) ?(udp_checksum = true) ?mtu ?tcp_mss
-    ?tcp_input_mode ?rpc_rto ?rpc_retries ?rmp_window ?rmp_ack_delay ?router
-    ?route_policy ?route_detection_ns ?route_recompute_ns () =
+    ?tcp_input_mode ?rpc_rto ?rpc_retries ?rmp_window ?rmp_ack_delay ?rmp_rto
+    ?rmp_retries ?router ?route_policy ?route_detection_ns ?route_recompute_ns
+    () =
   let router =
     match router with
     | Some r -> r
@@ -31,12 +37,24 @@ let create rt ?(tcp_checksum = true) ?(udp_checksum = true) ?mtu ?tcp_mss
       ?input_mode:tcp_input_mode ()
   in
   let dgram = Dgram.create dl in
-  let rmp = Rmp.create dl ?window:rmp_window ?ack_delay:rmp_ack_delay () in
+  let rmp =
+    Rmp.create dl ?window:rmp_window ?ack_delay:rmp_ack_delay ?rto:rmp_rto
+      ?max_retries:rmp_retries ()
+  in
   let reqresp = Reqresp.create dl ?rto:rpc_rto ?max_retries:rpc_retries () in
-  { rt; router; dl; ip; icmp; udp; tcp; dgram; rmp; reqresp }
+  { rt; router; dl; ip; icmp; udp; tcp; dgram; rmp; reqresp; services = [] }
 
 let node_id t = Nectar_core.Runtime.node_id t.rt
 let addr t = Ipv4.local_addr t.ip
+
+let register_service t ~name metrics =
+  if List.mem_assoc name t.services then
+    invalid_arg
+      (Printf.sprintf "Stack.register_service: %S already attached on %s" name
+         (Nectar_cab.Cab.name (Nectar_core.Runtime.cab t.rt)));
+  t.services <- (name, metrics) :: t.services
+
+let has_service t ~name = List.mem_assoc name t.services
 
 let register_metrics t reg =
   let cab = Nectar_core.Runtime.cab t.rt in
@@ -71,4 +89,5 @@ let register_metrics t reg =
           match List.assoc_opt oname (Nectar_sim.Cpu.owners_report cpu) with
           | Some served -> Nectar_sim.Sim_time.to_us served
           | None -> 0.))
-    (Nectar_sim.Cpu.owners_report cpu)
+    (Nectar_sim.Cpu.owners_report cpu);
+  List.iter (fun (_, f) -> f reg) (List.rev t.services)

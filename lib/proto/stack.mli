@@ -13,6 +13,9 @@ type t = {
   dgram : Dgram.t;
   rmp : Rmp.t;
   reqresp : Reqresp.t;
+  mutable services : (string * (Nectar_util.Metrics.t -> unit)) list;
+      (** registered stack services, newest first (use
+          {!register_service}) *)
 }
 
 val create :
@@ -26,6 +29,8 @@ val create :
   ?rpc_retries:int ->
   ?rmp_window:int ->
   ?rmp_ack_delay:Nectar_sim.Sim_time.span ->
+  ?rmp_rto:Nectar_sim.Sim_time.span ->
+  ?rmp_retries:int ->
   ?router:Nectar_route.Router.t ->
   ?route_policy:Nectar_route.Policy.t ->
   ?route_detection_ns:Nectar_sim.Sim_time.span ->
@@ -34,6 +39,9 @@ val create :
   t
 (** [rmp_window]/[rmp_ack_delay] select the beyond-the-paper sliding-window
     RMP (see {!Rmp.create}); the defaults keep the paper's stop-and-wait.
+    [rmp_rto]/[rmp_retries] tune its retry budget — wide fan-in (many
+    senders converging on one CAB, e.g. the collective baselines) needs a
+    patient RTO, or every sender's retransmissions amplify the incast.
 
     [router] shares an existing route database across stacks; otherwise a
     private one is built from [route_policy] (default: empty policy —
@@ -43,6 +51,18 @@ val create :
 val node_id : t -> int
 val addr : t -> Ipv4.addr
 
+val register_service : t -> name:string -> (Nectar_util.Metrics.t -> unit) -> unit
+(** Attach a named service layered above the stack (the collective engine
+    of [lib/coll] is one): the thunk contributes the service's metrics to
+    every later {!register_metrics} call, and a duplicate attachment of
+    the same service name is refused — a service that binds a well-known
+    mailbox port registers here so double-binding fails at attach time
+    with a clear error rather than at mailbox creation.
+    @raise Invalid_argument if [name] is already registered. *)
+
+val has_service : t -> name:string -> bool
+
 val register_metrics : t -> Nectar_util.Metrics.t -> unit
 (** Register this node's datalink/RMP/rpc/TCP/Rx counters and CPU gauges
-    into the registry, prefixed with the CAB's name. *)
+    into the registry, prefixed with the CAB's name, then each registered
+    service's metrics (in attachment order). *)

@@ -71,6 +71,34 @@ module Summary = struct
     let frac = idx -. floor idx in
     (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
 
+  (* Chan's parallel combine of two Welford states.  Empty sides are the
+     edge cases: an empty [src] leaves [into] untouched, an empty [into]
+     takes [src] verbatim — never mixing real samples with the
+     infinity/neg_infinity sentinels of an empty summary. *)
+  let merge ~into src =
+    if src.n = 0 then ()
+    else if into.n = 0 then begin
+      into.n <- src.n;
+      into.sum <- src.sum;
+      into.mean_ <- src.mean_;
+      into.m2 <- src.m2;
+      into.mn <- src.mn;
+      into.mx <- src.mx;
+      if into.keep then into.samples <- src.samples
+    end
+    else begin
+      let na = float_of_int into.n and nb = float_of_int src.n in
+      let n = na +. nb in
+      let d = src.mean_ -. into.mean_ in
+      into.m2 <- into.m2 +. src.m2 +. (d *. d *. na *. nb /. n);
+      into.mean_ <- into.mean_ +. (d *. nb /. n);
+      into.n <- into.n + src.n;
+      into.sum <- into.sum +. src.sum;
+      if src.mn < into.mn then into.mn <- src.mn;
+      if src.mx > into.mx then into.mx <- src.mx;
+      if into.keep then into.samples <- src.samples @ into.samples
+    end
+
   let reset t =
     t.n <- 0;
     t.sum <- 0.;

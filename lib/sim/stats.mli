@@ -34,6 +34,12 @@ module Summary : sig
   (** [percentile t 0.99]; requires [keep_samples].
       @raise Invalid_argument if empty or [p] is outside [\[0,1\]]. *)
 
+  val merge : into:t -> t -> unit
+  (** Fold [src] into [into] with the parallel Welford combine: exact
+      count/sum/mean/m2 and min/max, stable at large offsets.  An empty
+      side never disturbs the other (the empty-summary sentinels are not
+      mixed in).  Kept samples concatenate when [into] keeps samples. *)
+
   val reset : t -> unit
 end
 

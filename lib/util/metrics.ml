@@ -46,6 +46,51 @@ let observe t name x =
   | Some _ | None ->
       invalid_arg (Printf.sprintf "Metrics.observe: %S is not a histogram" name)
 
+(* Chan's parallel Welford combine.  The empty sides are the edge cases:
+   an empty [src] must leave [dst] untouched (its infinity min/max
+   sentinels would otherwise poison the result through the delta term),
+   and an empty [dst] must take [src]'s state verbatim rather than mix
+   real samples with sentinel extrema. *)
+let hist_merge dst src =
+  if src.hn = 0 then ()
+  else if dst.hn = 0 then begin
+    dst.hn <- src.hn;
+    dst.hmean <- src.hmean;
+    dst.hm2 <- src.hm2;
+    dst.hmin <- src.hmin;
+    dst.hmax <- src.hmax
+  end
+  else begin
+    let na = float_of_int dst.hn and nb = float_of_int src.hn in
+    let n = na +. nb in
+    let d = src.hmean -. dst.hmean in
+    dst.hm2 <- dst.hm2 +. src.hm2 +. (d *. d *. na *. nb /. n);
+    dst.hmean <- dst.hmean +. (d *. nb /. n);
+    dst.hn <- dst.hn + src.hn;
+    if src.hmin < dst.hmin then dst.hmin <- src.hmin;
+    if src.hmax > dst.hmax then dst.hmax <- src.hmax
+  end
+
+let merge t src =
+  Hashtbl.iter
+    (fun name entry ->
+      match entry with
+      | Counter_thunk _ | Gauge_thunk _ ->
+          (* thunks read live owner state; there is nothing to fold *)
+          ()
+      | Histogram h -> (
+          match Hashtbl.find_opt t.entries name with
+          | Some (Histogram dst) -> hist_merge dst h
+          | Some _ ->
+              invalid_arg
+                (Printf.sprintf "Metrics.merge: %S is not a histogram" name)
+          | None ->
+              histogram t name;
+              (match Hashtbl.find_opt t.entries name with
+              | Some (Histogram dst) -> hist_merge dst h
+              | _ -> assert false)))
+    src.entries
+
 let read = function
   | Counter_thunk f -> Count (f ())
   | Gauge_thunk f -> Gauge (f ())

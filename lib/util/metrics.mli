@@ -32,6 +32,17 @@ val histogram : t -> string -> unit
 val observe : t -> string -> float -> unit
 (** @raise Invalid_argument if the name is not a registered histogram. *)
 
+val merge : t -> t -> unit
+(** [merge t src] folds [src]'s owned histograms into [t]: same-named
+    histograms combine with the parallel Welford rule (exact n/mean/m2
+    and min/max, stable at large offsets), names absent from [t] are
+    created.  Merging an empty histogram into a populated one (or vice
+    versa) preserves the populated side's moments and extrema.
+    Thunk-backed counters and gauges read live owner state and are
+    skipped.
+    @raise Invalid_argument if a histogram name is registered in [t] as a
+    counter or gauge. *)
+
 val snapshot : t -> (string * value) list
 (** All metrics, sorted by name; thunks are read at call time. *)
 

@@ -358,6 +358,58 @@ let test_mailbox_block_policy () =
   check_bool "draining reopens it" true !after_drain;
   check_int "`Block never tail-drops" 0 (Mailbox.overflow_drops mb)
 
+(* Overflow accounting with pooled message records: a capacity-bounded
+   `Drop mailbox fed over a lossy wire, with the runtime's Message.Pool
+   on.  Every RMP send lands exactly once at the mailbox, which either
+   queues or tail-drops it — so reads + overflow_drops must equal the
+   offered count, and the dropped records must retire into the pool
+   (drops that leaked records would starve it).  Run under vet so the
+   refcount/reuse hooks audit every retirement. *)
+let test_mailbox_drop_with_pool () =
+  let sends = 40 in
+  let result, findings =
+    Nectar_vet.Vet.run (fun () ->
+        let w = Chaos.build_world ~msg_pool:true () in
+        let a = w.Chaos.stacks.(0) and b = w.Chaos.stacks.(1) in
+        wire_faults ~drop:0.05 ~seed:33 w;
+        let mb =
+          Runtime.create_mailbox b.Stack.rt ~name:"bounded-drop" ~port
+            ~byte_limit:(16 * 1024) ~capacity:4 ~overflow:`Drop ()
+        in
+        let read = ref 0 in
+        ignore
+          (Thread.create (Runtime.cab b.Stack.rt) ~name:"slow-sink"
+             (fun ctx ->
+               while true do
+                 let m = Mailbox.begin_get ctx mb in
+                 Mailbox.end_get ctx m;
+                 incr read;
+                 (* drain slower than the wire delivers, forcing overflow *)
+                 Engine.sleep ctx.Ctx.eng (Sim_time.us 500)
+               done));
+        ignore
+          (Thread.create (Runtime.cab a.Stack.rt) ~name:"src" (fun ctx ->
+               for _ = 1 to sends do
+                 Rmp.send_string ctx a.Stack.rmp ~dst_cab:(Stack.node_id b)
+                   ~dst_port:port (String.make 64 'm')
+               done));
+        Engine.run w.Chaos.eng;
+        let drops = Mailbox.overflow_drops mb in
+        check_bool "the bounded mailbox did overflow" true (drops > 0);
+        check_int "reads + tail-drops = offered" sends (!read + drops);
+        let pool =
+          match Runtime.msg_pool b.Stack.rt with
+          | Some p -> p
+          | None -> Alcotest.fail "msg_pool world has no pool"
+        in
+        check_bool "retired records reached the free list" true
+          (Message.Pool.free_len pool > 0);
+        check_bool "recycled allocations occurred" true
+          (Message.Pool.hits pool > 0))
+  in
+  (match result with Ok () -> () | Error e -> raise e);
+  check_int "no vet findings" 0 (List.length findings)
+
 (* ---------- TCP retransmission budget ---------- *)
 
 let test_tcp_budget_timeout () =
@@ -468,6 +520,8 @@ let () =
         [
           Alcotest.test_case "drop policy" `Quick test_mailbox_drop_policy;
           Alcotest.test_case "block policy" `Quick test_mailbox_block_policy;
+          Alcotest.test_case "drop accounting with message pool" `Quick
+            test_mailbox_drop_with_pool;
         ] );
       ( "tcp",
         [ Alcotest.test_case "budget timeout" `Quick test_tcp_budget_timeout ] );

@@ -305,6 +305,97 @@ let test_workload_shapes () =
     plan;
   check_bool "open-loop due times monotone" true !ok
 
+(* The Rng.float boundary bug: the zipf CDF's floating-point tail could
+   land strictly below 1.0, so a draw of u = 1.0 (or just under) fell
+   off the end of the table.  The CDF now clamps its last entry to 1.0
+   exactly; draws at u in {0.0, pred 1.0, 1.0} must all map to a valid
+   rank. *)
+let test_zipf_boundaries () =
+  List.iter
+    (fun alpha ->
+      List.iter
+        (fun n ->
+          let cdf = Workload.zipf_cdf ~alpha n in
+          check_int "cdf length" n (Array.length cdf);
+          check_bool "tail clamped to 1.0" true (cdf.(n - 1) = 1.0);
+          let mono = ref true in
+          for k = 1 to n - 1 do
+            if cdf.(k) < cdf.(k - 1) then mono := false
+          done;
+          check_bool "cdf monotone" true !mono;
+          check_int "u = 0.0 draws the head" 0 (Workload.zipf_draw cdf 0.0);
+          check_int "u = 1.0 draws the tail" (n - 1)
+            (Workload.zipf_draw cdf 1.0);
+          let near_one = Workload.zipf_draw cdf (Float.pred 1.0) in
+          check_bool "u just under 1.0 in range" true
+            (near_one >= 0 && near_one < n);
+          (* every CDF knot and its neighborhood stays in range *)
+          Array.iter
+            (fun u ->
+              List.iter
+                (fun u' ->
+                  if u' >= 0.0 && u' <= 1.0 then begin
+                    let r = Workload.zipf_draw cdf u' in
+                    check_bool "knot draw in range" true (r >= 0 && r < n)
+                  end)
+                [ u; Float.pred u; Float.succ u ])
+            cdf)
+        [ 1; 2; 7; 64; 1000 ])
+    [ 0.5; 1.0; 1.2; 2.5 ];
+  (try
+     ignore (Workload.zipf_draw [||] 0.5);
+     Alcotest.fail "empty cdf accepted"
+   with Invalid_argument _ -> ())
+
+(* ---------- HUB port-wait attribution ---------- *)
+
+let contention_sink eng name =
+  let fifo =
+    Byte_fifo.create eng ~capacity:Nectar_cab.Costs.fifo_bytes ~name
+  in
+  {
+    Net.in_fifo = fifo;
+    on_frame_start = (fun _ -> ());
+    on_chunk =
+      (fun _ ~arrived ~last ->
+        ignore arrived;
+        ignore last;
+        Byte_fifo.pop fifo (Byte_fifo.level fifo));
+  }
+
+(* A circuit that queues at two different ports must be counted once per
+   contended port, not once per circuit (the pre-fix lump-sum
+   accounting).  Frame X holds hub0's trunk port, frame Y holds c's port
+   on hub1; frame Z then crosses both and waits twice. *)
+let test_two_hop_port_wait_attribution () =
+  let eng = Engine.create () in
+  let net = Net.create eng ~hubs:2 () in
+  Net.connect_hubs net (0, 15) (1, 14);
+  let a = Net.attach_node net ~hub:0 ~port:0 (contention_sink eng "a") in
+  let b = Net.attach_node net ~hub:0 ~port:1 (contention_sink eng "b") in
+  let _c = Net.attach_node net ~hub:1 ~port:0 (contention_sink eng "c") in
+  let d = Net.attach_node net ~hub:1 ~port:1 (contention_sink eng "d") in
+  let _e = Net.attach_node net ~hub:1 ~port:2 (contention_sink eng "e") in
+  (* X: a -> e, 2000 bytes; holds the trunk port for ~160 us *)
+  Engine.spawn eng (fun () ->
+      Net.transmit net ~src:a ~route:[ 15; 2 ]
+        (Frame.create ~id:0 ~src:a ~data:(Bytes.make 2000 'x')));
+  (* Y: d -> c on hub1 only, 20000 bytes; holds c's port for ~1.6 ms *)
+  Engine.spawn eng (fun () ->
+      Net.transmit net ~src:d ~route:[ 0 ]
+        (Frame.create ~id:1 ~src:d ~data:(Bytes.make 20_000 'y')));
+  (* Z: b -> c, starts last; queues behind X at the trunk, then behind Y
+     at c's port *)
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng 1_000;
+      Net.transmit net ~src:b ~route:[ 15; 0 ]
+        (Frame.create ~id:2 ~src:b ~data:(Bytes.make 1000 'z')));
+  Engine.run eng;
+  check_int "one wait per contended port" 2 (Net.port_waits net);
+  (* trunk wait ~ X's residual drain; c-port wait ~ Y's residual drain *)
+  check_bool "waited time spans both holds" true
+    (Net.port_wait_ns net > 1_000_000)
+
 (* ---------- driver ---------- *)
 
 let small_cfg ?(event_pool = false) ?(domains = 1) () =
@@ -424,7 +515,16 @@ let () =
             test_policies_verify;
         ] );
       ( "workload",
-        [ Alcotest.test_case "shapes and purity" `Quick test_workload_shapes ] );
+        [
+          Alcotest.test_case "shapes and purity" `Quick test_workload_shapes;
+          Alcotest.test_case "zipf draw boundaries" `Quick
+            test_zipf_boundaries;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "2-hop port-wait attribution" `Quick
+            test_two_hop_port_wait_attribution;
+        ] );
       ( "driver",
         [
           Alcotest.test_case "conservation and determinism" `Quick

@@ -272,7 +272,8 @@ let test_tcp_small_window_flow_control () =
         let rmp = Rmp.create dl () in
         let reqresp = Reqresp.create dl () in
         let router = Datalink.router dl in
-        { Stack.rt; router; dl; ip; icmp; udp; tcp; dgram; rmp; reqresp })
+        { Stack.rt; router; dl; ip; icmp; udp; tcp; dgram; rmp; reqresp;
+          services = [] })
       ~hub:0 ~port:1 ~name:"b"
   in
   let total = 64 * 1024 in

@@ -421,6 +421,44 @@ let test_summary_empty_min_max () =
     (Invalid_argument "Summary.max: empty") (fun () ->
       ignore (Stats.Summary.max s))
 
+let test_summary_merge () =
+  (* empty <-> populated in both directions preserves the populated
+     side's moments and extrema *)
+  let a = Stats.Summary.create () in
+  List.iter (Stats.Summary.add a) [ 2.; 4.; 6. ];
+  Stats.Summary.merge ~into:a (Stats.Summary.create ());
+  check_int "empty src: count kept" 3 (Stats.Summary.count a);
+  Alcotest.(check (float 1e-12)) "empty src: mean kept" 4. (Stats.Summary.mean a);
+  Alcotest.(check (float 1e-12)) "empty src: min kept" 2. (Stats.Summary.min a);
+  Alcotest.(check (float 1e-12)) "empty src: max kept" 6. (Stats.Summary.max a);
+  let b = Stats.Summary.create () in
+  Stats.Summary.merge ~into:b a;
+  check_int "empty dst: count copied" 3 (Stats.Summary.count b);
+  Alcotest.(check (float 1e-12)) "empty dst: stddev copied"
+    (Stats.Summary.stddev a) (Stats.Summary.stddev b);
+  (* two populated shards at a 1e9 offset must equal the single-stream
+     fold (Chan's combine, no catastrophic cancellation) *)
+  let x = Stats.Summary.create ~keep_samples:true () in
+  let y = Stats.Summary.create ~keep_samples:true () in
+  let all = Stats.Summary.create ~keep_samples:true () in
+  let xs = [ 1e9; 1e9 +. 1.; 1e9 +. 2. ]
+  and ys = [ 1e9 +. 100.; 1e9 +. 101. ] in
+  List.iter (Stats.Summary.add x) xs;
+  List.iter (Stats.Summary.add y) ys;
+  List.iter (Stats.Summary.add all) (xs @ ys);
+  Stats.Summary.merge ~into:x y;
+  check_int "count" (Stats.Summary.count all) (Stats.Summary.count x);
+  Alcotest.(check (float 1e-6)) "mean" (Stats.Summary.mean all)
+    (Stats.Summary.mean x);
+  Alcotest.(check (float 1e-6)) "stddev" (Stats.Summary.stddev all)
+    (Stats.Summary.stddev x);
+  Alcotest.(check (float 1e-12)) "max" (Stats.Summary.max all)
+    (Stats.Summary.max x);
+  (* kept samples concatenate, so percentiles keep working after merge *)
+  Alcotest.(check (float 1e-12)) "p50 over merged samples"
+    (Stats.Summary.percentile all 0.5)
+    (Stats.Summary.percentile x 0.5)
+
 let test_throughput () =
   Alcotest.(check (float 1e-6))
     "100 Mbit/s" 100.
@@ -746,6 +784,8 @@ let () =
             test_summary_percentile_edges;
           Alcotest.test_case "summary empty min/max" `Quick
             test_summary_empty_min_max;
+          Alcotest.test_case "summary parallel merge" `Quick
+            test_summary_merge;
           Alcotest.test_case "throughput" `Quick test_throughput;
           Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
